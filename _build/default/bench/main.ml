@@ -1,0 +1,128 @@
+(* Bechamel micro-benchmark suite: one Test.make group per paper
+   figure/table plus the §5 ablations, on scaled-down problem sizes so
+   the whole suite finishes in minutes.  The full-size reproductions
+   live in bin/fig11.exe, bin/fig12.exe, bin/fig13.exe and
+   bin/ablation.exe; this executable is the quick, statistically
+   sampled view of the same kernels.
+
+     fig11/*          sequential whole-benchmark runs (class mini)
+     fig12_sim/*      trace replay through the three machine models
+     stencil/*        E4: one residual sweep, four implementation styles
+     fusion/*         E6: whole benchmark at O0 vs O3 (class tiny)
+     arraylib/*       the Fig. 10 building blocks                     *)
+
+open Bechamel
+open Toolkit
+open Mg_ndarray
+open Mg_core
+module Wl = Mg_withloop.Wl
+
+let mini = Classes.mini
+let tiny = Classes.tiny
+
+(* --- fig11: sequential whole-benchmark runs ------------------------- *)
+
+let fig11_tests =
+  Test.make_grouped ~name:"fig11"
+    [ Test.make ~name:"f77_mini" (Staged.stage (fun () -> ignore (Mg_f77.run mini)));
+      Test.make ~name:"c_mini" (Staged.stage (fun () -> ignore (Mg_c.run mini)));
+      Test.make ~name:"sac_mini" (Staged.stage (fun () -> ignore (Mg_sac.run mini)));
+    ]
+
+(* --- fig12: machine-model replay (simulation itself is the benchmark) *)
+
+let trace_for impl =
+  let r = Driver.traced_run ~impl ~cls:mini in
+  r.Driver.events
+
+let fig12_tests =
+  let sac_trace = trace_for Driver.Sac in
+  let f77_trace = trace_for Driver.F77 in
+  let c_trace = trace_for Driver.C in
+  let replay model trace () =
+    for p = 1 to 10 do
+      ignore (Mg_smp.Smp_sim.predict model ~procs:p trace)
+    done
+  in
+  Test.make_grouped ~name:"fig12_sim"
+    [ Test.make ~name:"sac_model" (Staged.stage (replay Mg_smp.Models.sac sac_trace));
+      Test.make ~name:"autopar_model" (Staged.stage (replay Mg_smp.Models.f77_autopar f77_trace));
+      Test.make ~name:"openmp_model" (Staged.stage (replay Mg_smp.Models.openmp c_trace));
+    ]
+
+(* --- E4: stencil styles --------------------------------------------- *)
+
+let stencil_tests =
+  let n = 32 in
+  let m = n + 2 in
+  let shp = [| m; m; m |] in
+  let u = Ndarray.init shp (fun iv -> float_of_int ((iv.(0) * 13) + iv.(1) + iv.(2)) /. 97.0) in
+  let v = Ndarray.init shp (fun iv -> float_of_int iv.(0)) in
+  let r = Ndarray.create shp in
+  let a = Stencil.to_array Stencil.a in
+  let wl level () =
+    Wl.with_opt_level level (fun () ->
+        ignore (Wl.force (Mg_sac.relax_kernel Stencil.a (Wl.of_ndarray u))))
+  in
+  Test.make_grouped ~name:"stencil"
+    [ Test.make ~name:"wl_naive_O0" (Staged.stage (wl Wl.O0));
+      Test.make ~name:"wl_factored_O1" (Staged.stage (wl Wl.O1));
+      Test.make ~name:"c_unbuffered" (Staged.stage (fun () -> Mg_c.resid ~u ~v ~r ~a));
+      Test.make ~name:"f77_line_buffers" (Staged.stage (fun () -> Mg_f77.resid ~u ~v ~r ~a));
+    ]
+
+(* --- E6: with-loop folding ------------------------------------------ *)
+
+let fusion_tests =
+  let run level () = ignore (Driver.run ~opt:level ~impl:Driver.Sac ~cls:tiny ()) in
+  Test.make_grouped ~name:"fusion"
+    [ Test.make ~name:"tiny_O0" (Staged.stage (run Wl.O0));
+      Test.make ~name:"tiny_O3" (Staged.stage (run Wl.O3));
+    ]
+
+(* --- Fig. 10 array library building blocks -------------------------- *)
+
+let arraylib_tests =
+  let open Mg_arraylib in
+  let shp = [| 34; 34; 34 |] in
+  let a = Ndarray.init shp (fun iv -> float_of_int (iv.(0) + (iv.(1) * 3) + iv.(2)) /. 7.0) in
+  let wa () = Wl.of_ndarray a in
+  Test.make_grouped ~name:"arraylib"
+    [ Test.make ~name:"condense2" (Staged.stage (fun () -> ignore (Wl.force (Select.condense 2 (wa ())))));
+      Test.make ~name:"scatter2" (Staged.stage (fun () -> ignore (Wl.force (Select.scatter 2 (wa ())))));
+      Test.make ~name:"periodic_border"
+        (Staged.stage (fun () -> ignore (Wl.force (Border.setup_periodic_border (wa ())))));
+      Test.make ~name:"elementwise_add"
+        (Staged.stage (fun () -> ignore (Wl.force (Ops.add (wa ()) (wa ())))));
+      Test.make ~name:"sum_squares" (Staged.stage (fun () -> ignore (Ops.sum_squares (wa ()))));
+    ]
+
+(* --- harness --------------------------------------------------------- *)
+
+let benchmark tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  Analyze.all ols instance raw
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+          Printf.printf "  %-32s %12.3f us/run   (r^2 %.4f)\n" name (t /. 1e3) r2
+      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+    rows
+
+let () =
+  Printf.printf "sac_mg benchmark suite (scaled-down classes; see bin/fig*.exe for full sizes)\n";
+  List.iter
+    (fun tests ->
+      let name = Test.name tests in
+      Printf.printf "\n%s:\n%!" name;
+      print_results (benchmark tests))
+    [ fig11_tests; fig12_tests; stencil_tests; fusion_tests; arraylib_tests ]

@@ -1,0 +1,1 @@
+bin/ablation.ml: Arg Array Classes Cmd Cmdliner Driver Exp_common Format Hashtbl List Mg_bench_util Mg_c Mg_core Mg_f77 Mg_ndarray Mg_sac Mg_smp Mg_withloop Ndarray Printf Stencil Term Verify

@@ -1,0 +1,1 @@
+bin/exp_common.ml: Classes Cmdliner Driver Float Format List Mg_bench_util Mg_core Mg_smp Option Printf String Unix Verify

@@ -1,0 +1,1 @@
+bin/fig11.ml: Arg Classes Cmd Cmdliner Driver Exp_common Format List Mg_bench_util Mg_core Printf Term

@@ -1,0 +1,1 @@
+bin/fig11.mli:

@@ -1,0 +1,1 @@
+bin/fig12.mli:

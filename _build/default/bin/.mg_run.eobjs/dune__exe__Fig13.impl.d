@@ -1,0 +1,1 @@
+bin/fig13.ml: Arg Array Classes Cmd Cmdliner Driver Exp_common Format List Mg_bench_util Mg_core Mg_smp Printf Term

@@ -1,0 +1,1 @@
+bin/fig13.mli:

@@ -1,0 +1,1 @@
+bin/loc_table.ml: Arg Cmd Cmdliner Exp_common Filename Format List Mg_bench_util Printf String Sys Term

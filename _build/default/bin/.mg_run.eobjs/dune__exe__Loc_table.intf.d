@@ -1,0 +1,1 @@
+bin/loc_table.mli:

@@ -1,0 +1,1 @@
+bin/mg_run.ml: Arg Classes Cmd Cmdliner Driver Format Hashtbl List Mg_core Mg_smp Mg_withloop Option Printf Term Verify

@@ -1,0 +1,89 @@
+(* mg_run: run one NAS-MG configuration and report timing and
+   verification, exactly as the reference benchmark binaries do.
+
+     mg_run --impl sac --class S --opt O3 --threads 1 [--profile]
+
+   With --profile, the per-operation trace is printed (one line per
+   array operation / routine call) together with a per-tag summary. *)
+
+open Mg_core
+module Trace = Mg_smp.Trace
+
+let run impl cls opt threads profile custom_nx custom_nit =
+  let cls =
+    match (custom_nx, custom_nit) with
+    | Some nx, nit ->
+        Classes.make_custom ~name:(Printf.sprintf "custom%d" nx) ~nx
+          ~nit:(Option.value nit ~default:4)
+    | None, _ -> cls
+  in
+  let result = Driver.run ~opt ~threads ~trace:profile ~impl ~cls () in
+  Format.printf "@[%a@]@." Driver.pp_result result;
+  if profile then begin
+    Format.printf "@.Per-operation trace (%d events):@." (List.length result.Driver.events);
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (ev : Trace.event) ->
+        let key = Printf.sprintf "%s@%d" ev.Trace.tag ev.Trace.level_extent in
+        let t, c = try Hashtbl.find tbl key with Not_found -> (0.0, 0) in
+        Hashtbl.replace tbl key (t +. ev.Trace.seq_seconds, c + 1))
+      result.Driver.events;
+    let rows = Hashtbl.fold (fun tag (t, c) acc -> (tag, t, c) :: acc) tbl [] in
+    let rows = List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows in
+    List.iter (fun (tag, t, c) -> Format.printf "  %-20s %6d calls  %9.4f s@." tag c t) rows
+  end;
+  if Verify.status_ok result.Driver.status then 0 else 1
+
+open Cmdliner
+
+let impl_conv =
+  let parse s =
+    match Driver.impl_of_string s with
+    | Some i -> Ok i
+    | None -> Error (`Msg (Printf.sprintf "unknown implementation %S (sac|f77|c|periodic)" s))
+  in
+  Arg.conv (parse, fun ppf i -> Format.pp_print_string ppf (Driver.impl_to_string i))
+
+let class_conv =
+  let parse s =
+    match Classes.of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown class %S (tiny|mini|S|W|W128|A|B|C)" s))
+  in
+  Arg.conv (parse, fun ppf (c : Classes.t) -> Format.pp_print_string ppf c.Classes.name)
+
+let opt_conv =
+  let parse s =
+    match Mg_withloop.Wl.opt_level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown optimisation level %S (O0..O3)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Mg_withloop.Wl.opt_level_to_string l))
+
+let impl_arg =
+  Arg.(value & opt impl_conv Driver.Sac & info [ "i"; "impl" ] ~docv:"IMPL" ~doc:"Implementation: sac, f77, c or periodic (the §7 border-free variant).")
+
+let class_arg =
+  Arg.(value & opt class_conv Classes.class_s & info [ "c"; "class" ] ~docv:"CLASS" ~doc:"Problem class (tiny, mini, S, W, W128, A, B, C).")
+
+let opt_arg =
+  Arg.(value & opt opt_conv Mg_withloop.Wl.O3 & info [ "O"; "opt" ] ~docv:"LEVEL" ~doc:"With-loop optimisation level (sac only): O0..O3.")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker domains for with-loop execution.")
+
+let profile_arg = Arg.(value & flag & info [ "profile" ] ~doc:"Record and print the operation trace.")
+
+let nx_arg =
+  Arg.(value & opt (some int) None & info [ "nx" ] ~docv:"N" ~doc:"Custom grid extent (power of two; overrides --class).")
+
+let nit_arg =
+  Arg.(value & opt (some int) None & info [ "nit" ] ~docv:"N" ~doc:"Custom iteration count (with --nx).")
+
+let cmd =
+  let doc = "run the NAS benchmark MG (SAC-style, Fortran-77-style or C-style)" in
+  Cmd.v
+    (Cmd.info "mg_run" ~doc)
+    Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ profile_arg $ nx_arg $ nit_arg)
+
+let () = exit (Cmd.eval' cmd)

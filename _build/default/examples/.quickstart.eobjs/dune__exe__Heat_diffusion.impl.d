@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Array Border Exec Float Format Generator Mg_arraylib Mg_ndarray Mg_withloop Ndarray Ops Wl

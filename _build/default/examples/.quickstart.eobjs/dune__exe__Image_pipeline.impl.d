@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Float Format Generator List Mg_arraylib Mg_ndarray Mg_withloop Ndarray Ops Select Shape String Wl

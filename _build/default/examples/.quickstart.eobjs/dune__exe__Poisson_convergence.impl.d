@@ -1,0 +1,1 @@
+examples/poisson_convergence.ml: Array Format Mg_arraylib Mg_core Mg_ndarray Mg_sac Mg_withloop Ops Stencil Sys Verify Wl Zran3

@@ -1,0 +1,1 @@
+examples/poisson_convergence.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Generator Mg_arraylib Mg_ndarray Mg_withloop Ndarray Ops Select Wl

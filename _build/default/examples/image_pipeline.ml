@@ -1,0 +1,95 @@
+(* A 2-D "image" pipeline from the Fig. 10 building blocks — the
+   APL-style generic programming the paper advertises (§1, §2): the
+   same condense/scatter/stencil machinery that maps multigrid levels
+   builds an image pyramid.
+
+     dune exec examples/image_pipeline.exe
+
+   Pipeline: synthesise a test pattern; Gaussian-ish blur (3x3
+   stencil); downsample 2x (condense); upsample back (scatter +
+   interpolating stencil); difference-of-levels edge detector.  All
+   stages are with-loops, so at O3 the optimiser folds the blur into
+   the downsample and splits the upsample into the four parity cases —
+   the image-pyramid analogue of what it does to the V-cycle. *)
+
+open Mg_ndarray
+open Mg_withloop
+open Mg_arraylib
+module E = Wl.Expr
+
+(* 3x3 blur: 1/4 centre, 1/8 sides, 1/16 corners (sums to 1). *)
+let blur img =
+  let shp = Wl.shape img in
+  let weight dy dx = match abs dy + abs dx with 0 -> 0.25 | 1 -> 0.125 | _ -> 0.0625 in
+  let body =
+    List.fold_left
+      (fun acc (dy, dx) -> E.(acc + (const (weight dy dx) * read_offset img [| dy; dx |])))
+      (E.const 0.0)
+      [ (-1, -1); (-1, 0); (-1, 1); (0, -1); (0, 0); (0, 1); (1, -1); (1, 0); (1, 1) ]
+  in
+  Wl.modarray img [ (Generator.interior shp 1, body) ]
+
+let downsample img = Select.condense 2 (blur img)
+
+let upsample img =
+  (* scatter then smooth with the 2-D Q-style stencil: 1, 1/2, 1/4. *)
+  let s = Select.scatter 2 img in
+  let shp = Wl.shape s in
+  let weight dy dx = match abs dy + abs dx with 0 -> 1.0 | 1 -> 0.5 | _ -> 0.25 in
+  let body =
+    List.fold_left
+      (fun acc (dy, dx) -> E.(acc + (const (weight dy dx) * read_offset s [| dy; dx |])))
+      (E.const 0.0)
+      [ (-1, -1); (-1, 0); (-1, 1); (0, -1); (0, 0); (0, 1); (1, -1); (1, 0); (1, 1) ]
+  in
+  Wl.modarray s [ (Generator.interior shp 1, body) ]
+
+let stats label img =
+  let a = Wl.force img in
+  Format.printf "%-18s shape %a  min %7.3f  max %7.3f  mean %7.3f@." label Shape.pp
+    (Ndarray.shape a)
+    (Ops.min_val (Wl.of_ndarray a))
+    (Ops.max_val (Wl.of_ndarray a))
+    (Ops.sum (Wl.of_ndarray a) /. float_of_int (Ndarray.size a))
+
+let ascii_render img ~rows ~cols =
+  let a = Wl.force img in
+  let shp = Ndarray.shape a in
+  let lo = Ops.min_val img and hi = Ops.max_val img in
+  let palette = " .:-=+*#%@" in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let iv = [| r * shp.(0) / rows; c * shp.(1) / cols |] in
+      let v = (Ndarray.get a iv -. lo) /. Float.max 1e-9 (hi -. lo) in
+      let k = min 9 (int_of_float (v *. 10.0)) in
+      print_char palette.[k]
+    done;
+    print_newline ()
+  done
+
+let () =
+  let n = 64 in
+  let shp = [| n; n |] in
+  (* Test pattern: two blobs on a gradient. *)
+  let img =
+    Ndarray.init shp (fun iv ->
+        let fy = float_of_int iv.(0) and fx = float_of_int iv.(1) in
+        let blob cy cx r = if ((fy -. cy) ** 2.0) +. ((fx -. cx) ** 2.0) < r *. r then 80.0 else 0.0 in
+        (0.3 *. fx) +. blob 20.0 20.0 9.0 +. blob 44.0 40.0 6.0)
+  in
+  let img = Wl.of_ndarray img in
+  stats "input" img;
+  let blurred = blur img in
+  stats "blurred" blurred;
+  let half = downsample img in
+  stats "downsampled" half;
+  let back = upsample half in
+  stats "upsampled" back;
+  (* Edge detector: difference between the image and its reconstruction
+     from the coarser level (a Laplacian-pyramid band). *)
+  let band = Ops.sub (Select.take shp img) (Select.take shp back) in
+  stats "detail band" band;
+  Format.printf "@.input:@.";
+  ascii_render img ~rows:16 ~cols:32;
+  Format.printf "@.detail band (edges):@.";
+  ascii_render (Ops.abs band) ~rows:16 ~cols:32

@@ -1,0 +1,1 @@
+lib/arraylib/border.ml: Array Generator List Mg_ndarray Mg_withloop Printf Shape Wl

@@ -1,0 +1,1 @@
+lib/arraylib/border.mli: Mg_ndarray Mg_withloop Wl

@@ -1,0 +1,1 @@
+lib/arraylib/ops.ml: Exec Float Generator Mg_ndarray Mg_withloop Printf Shape Wl

@@ -1,0 +1,1 @@
+lib/arraylib/ops.mli: Generator Mg_ndarray Mg_withloop Shape Wl

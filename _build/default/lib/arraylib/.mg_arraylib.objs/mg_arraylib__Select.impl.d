@@ -1,0 +1,1 @@
+lib/arraylib/select.ml: Array Generator Ixmap Mg_ndarray Mg_withloop Ndarray Ops Printf Shape Wl

@@ -1,0 +1,1 @@
+lib/arraylib/select.mli: Mg_ndarray Mg_withloop Shape Wl

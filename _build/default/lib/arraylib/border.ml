@@ -1,0 +1,51 @@
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+
+let wrap_offset ~extent ~sign =
+  if sign < 0 then extent - 2 else if sign > 0 then -(extent - 2) else 0
+
+let setup_periodic_border a =
+  let shp = Wl.shape a in
+  let n = Shape.rank shp in
+  Array.iteri
+    (fun j e ->
+      if e < 3 then
+        invalid_arg
+          (Printf.sprintf "Arraylib.setup_periodic_border: extent %d on axis %d has no interior"
+             e j))
+    shp;
+  (* Enumerate sign vectors in {-1,0,1}^n, skipping the all-zero
+     (interior) one; each yields one border region reading the interior
+     at a constant wrap offset. *)
+  let parts = ref [] in
+  let sign = Array.make n 0 in
+  let rec build j =
+    if j = n then begin
+      if Array.exists (fun s -> s <> 0) sign then begin
+        let lb = Array.make n 0 and ub = Array.make n 0 and off = Array.make n 0 in
+        for i = 0 to n - 1 do
+          (match sign.(i) with
+          | -1 ->
+              lb.(i) <- 0;
+              ub.(i) <- 1
+          | 0 ->
+              lb.(i) <- 1;
+              ub.(i) <- shp.(i) - 1
+          | _ ->
+              lb.(i) <- shp.(i) - 1;
+              ub.(i) <- shp.(i));
+          off.(i) <- wrap_offset ~extent:shp.(i) ~sign:sign.(i)
+        done;
+        parts := (Generator.make ~lb ~ub (), E.read_offset a off) :: !parts
+      end
+    end
+    else
+      List.iter
+        (fun s ->
+          sign.(j) <- s;
+          build (j + 1))
+        [ -1; 0; 1 ]
+  in
+  build 0;
+  Wl.modarray ~barrier:true a !parts

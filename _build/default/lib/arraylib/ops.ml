@@ -1,0 +1,47 @@
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+
+let check_same_shape name a b =
+  if not (Shape.equal (Wl.shape a) (Wl.shape b)) then
+    invalid_arg
+      (Printf.sprintf "Arraylib.%s: shape mismatch (%s vs %s)" name
+         (Shape.to_string (Wl.shape a))
+         (Shape.to_string (Wl.shape b)))
+
+let genarray_const shp v = Wl.genarray shp [ (Generator.full shp, E.const v) ]
+
+let zip_with f a b =
+  check_same_shape "zip_with" a b;
+  let shp = Wl.shape a in
+  Wl.genarray shp [ (Generator.full shp, f (E.read a) (E.read b)) ]
+
+let map f a =
+  let shp = Wl.shape a in
+  Wl.genarray shp [ (Generator.full shp, f (E.read a)) ]
+
+let add a b = zip_with E.( + ) a b
+let sub a b = zip_with E.( - ) a b
+let mul a b = zip_with E.( * ) a b
+let div a b = zip_with E.( / ) a b
+
+let add_scalar a c = map (fun x -> E.(x + const c)) a
+let mul_scalar a c = map (fun x -> E.(const c * x)) a
+let neg a = map E.neg a
+let abs a = map E.abs a
+
+let fold_full ~op ~neutral body a =
+  Wl.fold ~op ~neutral (Generator.full (Wl.shape a)) (body (E.read a))
+
+let sum a = fold_full ~op:Exec.Fadd ~neutral:0.0 (fun x -> x) a
+let product a = fold_full ~op:Exec.Fmul ~neutral:1.0 (fun x -> x) a
+let max_val a = fold_full ~op:Exec.Fmax ~neutral:Float.neg_infinity (fun x -> x) a
+let min_val a = fold_full ~op:Exec.Fmin ~neutral:Float.infinity (fun x -> x) a
+let max_abs a = fold_full ~op:Exec.Fmax ~neutral:0.0 E.abs a
+let sum_squares a = fold_full ~op:Exec.Fadd ~neutral:0.0 (fun x -> E.(x * x)) a
+
+let sum_squares_over a gen =
+  let x = E.read a in
+  Wl.fold ~op:Exec.Fadd ~neutral:0.0 gen E.(x * x)
+
+let max_abs_over a gen = Wl.fold ~op:Exec.Fmax ~neutral:0.0 gen (E.abs (E.read a))

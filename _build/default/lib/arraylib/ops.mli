@@ -1,0 +1,44 @@
+(** Element-wise arithmetic and reductions — the part of the SAC array
+    library the paper's [MGrid]/[VCycle] code imports ("the arithmetic
+    array operations used in the definitions of MGrid and VCycle are
+    simply imported from the SAC array library", §4).
+
+    All binary operations require equal shapes; all are rank-generic
+    and build delayed with-loops, so consumers can fold them. *)
+
+open Mg_ndarray
+open Mg_withloop
+
+val genarray_const : Shape.t -> float -> Wl.t
+(** Fig. 10's [genarray(shp, val)]: a constant array. *)
+
+val add : Wl.t -> Wl.t -> Wl.t
+val sub : Wl.t -> Wl.t -> Wl.t
+val mul : Wl.t -> Wl.t -> Wl.t
+val div : Wl.t -> Wl.t -> Wl.t
+
+val add_scalar : Wl.t -> float -> Wl.t
+val mul_scalar : Wl.t -> float -> Wl.t
+val neg : Wl.t -> Wl.t
+val abs : Wl.t -> Wl.t
+
+val map : (Wl.Expr.e -> Wl.Expr.e) -> Wl.t -> Wl.t
+(** [map f a]: apply an expression transformer element-wise, e.g.
+    [map (fun x -> Expr.(x * x)) a]. *)
+
+val zip_with : (Wl.Expr.e -> Wl.Expr.e -> Wl.Expr.e) -> Wl.t -> Wl.t -> Wl.t
+
+(** {1 Reductions} (fold with-loops) *)
+
+val sum : Wl.t -> float
+val product : Wl.t -> float
+val max_val : Wl.t -> float
+val min_val : Wl.t -> float
+val max_abs : Wl.t -> float
+val sum_squares : Wl.t -> float
+
+val sum_squares_over : Wl.t -> Generator.t -> float
+(** Sum of squared elements over a sub-generator (NAS-MG's [norm2u3]
+    sums the interior only). *)
+
+val max_abs_over : Wl.t -> Generator.t -> float

@@ -1,0 +1,119 @@
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+
+let condense str a =
+  if str < 1 then invalid_arg "Arraylib.condense: stride must be >= 1";
+  let shp = Shape.div (Wl.shape a) (Shape.replicate (Wl.rank a) str) in
+  Wl.genarray shp [ (Generator.full shp, E.read_at a (Ixmap.scale (Shape.rank shp) str)) ]
+
+let scatter str a =
+  if str < 1 then invalid_arg "Arraylib.scatter: stride must be >= 1";
+  let n = Wl.rank a in
+  let shp = Shape.scale str (Wl.shape a) in
+  let gen =
+    Generator.make ~step:(Shape.replicate n str) ~lb:(Shape.replicate n 0) ~ub:shp ()
+  in
+  Wl.genarray ~default:0.0 shp [ (gen, E.read_at a (Ixmap.divide n str)) ]
+
+let embed shp pos a =
+  let ashp = Wl.shape a in
+  let n = Shape.rank shp in
+  if Shape.rank pos <> n || Shape.rank ashp <> n then invalid_arg "Arraylib.embed: rank mismatch";
+  for j = 0 to n - 1 do
+    if pos.(j) < 0 || pos.(j) + ashp.(j) > shp.(j) then
+      invalid_arg
+        (Printf.sprintf "Arraylib.embed: array %s at %s does not fit in %s"
+           (Shape.to_string ashp) (Shape.to_string pos) (Shape.to_string shp))
+  done;
+  let gen = Generator.make ~lb:pos ~ub:(Shape.add pos ashp) () in
+  Wl.genarray ~default:0.0 shp [ (gen, E.read_at a (Ixmap.offset (Shape.scale (-1) pos))) ]
+
+let take shp a =
+  let ashp = Wl.shape a in
+  if Shape.rank shp <> Shape.rank ashp then invalid_arg "Arraylib.take: rank mismatch";
+  for j = 0 to Shape.rank shp - 1 do
+    if shp.(j) > ashp.(j) then
+      invalid_arg
+        (Printf.sprintf "Arraylib.take: %s exceeds %s" (Shape.to_string shp)
+           (Shape.to_string ashp))
+  done;
+  Wl.genarray shp [ (Generator.full shp, E.read a) ]
+
+let drop pos a =
+  let ashp = Wl.shape a in
+  if Shape.rank pos <> Shape.rank ashp then invalid_arg "Arraylib.drop: rank mismatch";
+  let shp = Shape.sub ashp pos in
+  if not (Shape.is_valid shp) then invalid_arg "Arraylib.drop: dropping more than available";
+  Wl.genarray shp [ (Generator.full shp, E.read_offset a pos) ]
+
+let tile shp pos a =
+  let ashp = Wl.shape a in
+  let n = Shape.rank ashp in
+  if Shape.rank shp <> n || Shape.rank pos <> n then invalid_arg "Arraylib.tile: rank mismatch";
+  for j = 0 to n - 1 do
+    if pos.(j) < 0 || pos.(j) + shp.(j) > ashp.(j) then
+      invalid_arg "Arraylib.tile: box escapes the array"
+  done;
+  Wl.genarray shp [ (Generator.full shp, E.read_offset a pos) ]
+
+let shift d a =
+  let shp = Wl.shape a in
+  let n = Shape.rank shp in
+  if Shape.rank d <> n then invalid_arg "Arraylib.shift: rank mismatch";
+  let lb = Array.init n (fun j -> max 0 d.(j))
+  and ub = Array.init n (fun j -> min shp.(j) (shp.(j) + d.(j))) in
+  if Array.exists2 (fun l u -> l >= u) lb ub then Ops.genarray_const shp 0.0
+  else begin
+    let gen = Generator.make ~lb ~ub () in
+    Wl.genarray ~default:0.0 shp [ (gen, E.read_offset a (Shape.scale (-1) d)) ]
+  end
+
+let rotate d a =
+  let shp = Wl.shape a in
+  let n = Shape.rank shp in
+  if Shape.rank d <> n then invalid_arg "Arraylib.rotate: rank mismatch";
+  if n = 0 then a
+  else begin
+    let dn = Array.init n (fun j -> if shp.(j) = 0 then 0 else ((d.(j) mod shp.(j)) + shp.(j)) mod shp.(j)) in
+    (* One part per corner of the wrap: on each axis the result splits
+       at dn.(j) into a high band reading offset -dn and a low band
+       reading offset shp - dn. *)
+    let parts = ref [] in
+    let lb = Array.make n 0 and ub = Array.make n 0 and off = Array.make n 0 in
+    let rec build j =
+      if j = n then begin
+        if Array.for_all2 (fun l u -> l < u) lb ub then
+          parts :=
+            (Generator.make ~lb:(Array.copy lb) ~ub:(Array.copy ub) (),
+             E.read_offset a (Array.copy off))
+            :: !parts
+      end
+      else begin
+        (* High band: indices >= dn, source offset -dn. *)
+        lb.(j) <- dn.(j);
+        ub.(j) <- shp.(j);
+        off.(j) <- -dn.(j);
+        build (j + 1);
+        (* Low band: indices < dn, source offset shp - dn. *)
+        lb.(j) <- 0;
+        ub.(j) <- dn.(j);
+        off.(j) <- shp.(j) - dn.(j);
+        build (j + 1)
+      end
+    in
+    build 0;
+    Wl.genarray shp !parts
+  end
+
+let reshape shp a =
+  let arr = Wl.force a in
+  Wl.of_ndarray (Ndarray.reshape arr shp)
+
+let transpose a =
+  let ashp = Wl.shape a in
+  let n = Shape.rank ashp in
+  let shp = Array.init n (fun j -> ashp.(n - 1 - j)) in
+  let arr = Wl.force a in
+  let body = E.of_fun (fun iv -> Ndarray.get arr (Array.init n (fun j -> iv.(n - 1 - j)))) in
+  Wl.genarray shp [ (Generator.full shp, body) ]

@@ -1,0 +1,53 @@
+(** Structural array operations — Fig. 10 of the paper, rank-generic.
+
+    These are the building blocks of the V-cycle's grid mappings
+    (Figs. 8 and 9): [condense] and [embed] implement fine-to-coarse,
+    [scatter] and [take] coarse-to-fine.  Each is a one-liner
+    with-loop, exactly as in the paper, and each is a "cheap selection"
+    the optimiser folds into consumers. *)
+
+open Mg_ndarray
+open Mg_withloop
+
+val condense : int -> Wl.t -> Wl.t
+(** [condense str a]: shape [shape a / str], element [iv] is
+    [a.[str * iv]].  @raise Invalid_argument if [str < 1]. *)
+
+val scatter : int -> Wl.t -> Wl.t
+(** [scatter str a]: shape [str * shape a]; [a]'s elements at every
+    [str]-th position, zeros elsewhere — the left inverse of
+    [condense str]. *)
+
+val embed : Shape.t -> Shape.t -> Wl.t -> Wl.t
+(** [embed shp pos a]: a [shp]-array that contains [a] starting at
+    index [pos], zeros elsewhere.
+    @raise Invalid_argument if [a] does not fit. *)
+
+val take : Shape.t -> Wl.t -> Wl.t
+(** [take shp a]: the leading [shp]-corner of [a].
+    @raise Invalid_argument if [shp] exceeds [shape a]. *)
+
+val drop : Shape.t -> Wl.t -> Wl.t
+(** [drop pos a]: everything from index [pos] on. *)
+
+val shift : Shape.t -> Wl.t -> Wl.t
+(** [shift d a]: element [iv] is [a.[iv - d]] where defined, [0.]
+    elsewhere (shape preserved). *)
+
+val rotate : Shape.t -> Wl.t -> Wl.t
+(** [rotate d a]: cyclic shift by [d] along every axis (shape
+    preserved); built from [2^rank] affine parts, so it stays
+    foldable. *)
+
+val tile : Shape.t -> Shape.t -> Wl.t -> Wl.t
+(** [tile shp pos a]: the [shp]-box of [a] starting at [pos] —
+    generalised [take]/[drop]. *)
+
+val reshape : Shape.t -> Wl.t -> Wl.t
+(** Same elements, new shape of equal cardinality (forces the
+    argument; reshaping is a no-op on the buffer). *)
+
+val transpose : Wl.t -> Wl.t
+(** Reverse all axes.  Index permutation is not affine in this
+    engine's diagonal index maps, so this is an opaque (unfoldable)
+    operation. *)

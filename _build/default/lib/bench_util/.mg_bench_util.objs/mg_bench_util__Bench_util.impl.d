@@ -1,0 +1,1 @@
+lib/bench_util/bench_util.ml: Array Domain Float Format List Mg_smp Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/bench_util/bench_util.mli: Format

@@ -1,0 +1,89 @@
+module Stats = struct
+  type t = { n : int; min : float; max : float; mean : float; median : float; stddev : float }
+
+  let of_samples samples =
+    let n = List.length samples in
+    if n = 0 then invalid_arg "Stats.of_samples: empty";
+    let sorted = List.sort compare samples in
+    let arr = Array.of_list sorted in
+    let sum = List.fold_left ( +. ) 0.0 samples in
+    let mean = sum /. float_of_int n in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 samples
+      /. float_of_int (max 1 (n - 1))
+    in
+    let median =
+      if n mod 2 = 1 then arr.(n / 2) else 0.5 *. (arr.((n / 2) - 1) +. arr.(n / 2))
+    in
+    { n; min = arr.(0); max = arr.(n - 1); mean; median; stddev = Float.sqrt var }
+
+  let pp_seconds ppf s =
+    Format.fprintf ppf "min %.4fs median %.4fs mean %.4fs (±%.4f, n=%d)" s.min s.median s.mean
+      s.stddev s.n
+end
+
+module Timing = struct
+  let repeat ?(warmup = 0) ~times f =
+    let result = ref None in
+    for _ = 1 to warmup do
+      result := Some (f ())
+    done;
+    let samples = ref [] in
+    for _ = 1 to times do
+      let t0 = Mg_smp.Clock.now () in
+      let r = f () in
+      samples := (Mg_smp.Clock.now () -. t0) :: !samples;
+      result := Some r
+    done;
+    match !result with
+    | Some r -> (List.rev !samples, r)
+    | None -> invalid_arg "Timing.repeat: times must be >= 1"
+
+  let best_of ?warmup ~times f =
+    let samples, r = repeat ?warmup ~times f in
+    (List.fold_left Float.min Float.infinity samples, r)
+end
+
+module Table = struct
+  type align = L | R
+
+  let pad align width s =
+    let k = width - String.length s in
+    if k <= 0 then s
+    else begin
+      match align with L -> s ^ String.make k ' ' | R -> String.make k ' ' ^ s
+    end
+
+  let render ppf ~header ~align rows =
+    let cols = List.length header in
+    let widths = Array.make cols 0 in
+    List.iteri (fun i h -> widths.(i) <- String.length h) header;
+    List.iter
+      (fun row -> List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) row)
+      rows;
+    let aligns = Array.of_list align in
+    let render_row row =
+      let cells =
+        List.mapi
+          (fun i c -> pad (if i < Array.length aligns then aligns.(i) else L) widths.(i) c)
+          row
+      in
+      Format.fprintf ppf "  %s@." (String.concat "   " cells)
+    in
+    render_row header;
+    let rule = String.concat "   " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+    Format.fprintf ppf "  %s@." rule;
+    List.iter render_row rows
+
+  let render_csv oc ~header rows =
+    let line cells = output_string oc (String.concat "," cells ^ "\n") in
+    line header;
+    List.iter line rows
+end
+
+module Env = struct
+  let description () =
+    let host = try Unix.gethostname () with _ -> "unknown-host" in
+    Printf.sprintf "%s, %d core(s) visible to OCaml, OCaml %s" host
+      (Domain.recommended_domain_count ()) Sys.ocaml_version
+end

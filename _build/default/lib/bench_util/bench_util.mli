@@ -1,0 +1,43 @@
+(** Measurement and reporting helpers for the experiment binaries. *)
+
+module Stats : sig
+  type t = {
+    n : int;
+    min : float;
+    max : float;
+    mean : float;
+    median : float;
+    stddev : float;
+  }
+
+  val of_samples : float list -> t
+  (** @raise Invalid_argument on an empty list. *)
+
+  val pp_seconds : Format.formatter -> t -> unit
+end
+
+module Timing : sig
+  val repeat : ?warmup:int -> times:int -> (unit -> 'a) -> float list * 'a
+  (** Run a thunk [warmup] (default 0) + [times] times, returning the
+      wall-clock seconds of the timed runs and the last result. *)
+
+  val best_of : ?warmup:int -> times:int -> (unit -> 'a) -> float * 'a
+  (** Minimum over {!repeat} — the conventional benchmark statistic for
+      a quiet machine. *)
+end
+
+module Table : sig
+  type align = L | R
+
+  val render :
+    Format.formatter -> header:string list -> align:align list -> string list list -> unit
+  (** Monospace table with a rule under the header. *)
+
+  val render_csv : out_channel -> header:string list -> string list list -> unit
+end
+
+module Env : sig
+  val description : unit -> string
+  (** One-line machine/runtime description stamped onto experiment
+      output (hostname, cores, OCaml version). *)
+end

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Classes Format Mg_c Mg_f77 Mg_periodic Mg_sac Mg_smp Mg_withloop String Trace Verify Wl

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Classes Format Mg_smp Mg_withloop Trace Verify Wl

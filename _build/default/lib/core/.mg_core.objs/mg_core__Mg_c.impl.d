@@ -1,0 +1,1 @@
+lib/core/mg_c.ml: Array Bigarray Mg_ndarray Mg_smp Ndarray Schedule Shape

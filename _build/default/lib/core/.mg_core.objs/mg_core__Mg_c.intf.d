@@ -1,0 +1,1 @@
+lib/core/mg_c.mli: Classes Mg_ndarray Ndarray Schedule

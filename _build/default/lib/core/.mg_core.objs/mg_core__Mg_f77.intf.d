@@ -1,0 +1,1 @@
+lib/core/mg_f77.mli: Classes Mg_ndarray Ndarray Schedule

@@ -1,0 +1,1 @@
+lib/core/mg_periodic.ml: Array Classes Float List Mg_arraylib Mg_ndarray Mg_smp Mg_withloop Ndarray Ops Option Select Shape Stencil Wl Zran3

@@ -1,0 +1,1 @@
+lib/core/mg_periodic.mli: Classes Mg_withloop Stencil Wl

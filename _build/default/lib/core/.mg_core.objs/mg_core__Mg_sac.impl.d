@@ -1,0 +1,1 @@
+lib/core/mg_sac.ml: Array Border Classes Generator Mg_arraylib Mg_ndarray Mg_smp Mg_withloop Ops Select Shape Stencil Verify Wl Zran3

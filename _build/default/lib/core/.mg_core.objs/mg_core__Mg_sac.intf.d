@@ -1,0 +1,1 @@
+lib/core/mg_sac.mli: Classes Mg_withloop Stencil Wl

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Classes Mg_ndarray Mg_smp Ndarray Stencil Verify Zran3

@@ -1,0 +1,1 @@
+lib/core/stencil.ml: Array List Mg_ndarray Mg_withloop Shape Wl

@@ -1,0 +1,1 @@
+lib/core/stencil.mli: Mg_ndarray Mg_withloop Shape Wl

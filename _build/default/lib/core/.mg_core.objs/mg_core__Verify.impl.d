@@ -1,0 +1,1 @@
+lib/core/verify.ml: Bigarray Classes Float Format Mg_ndarray Ndarray

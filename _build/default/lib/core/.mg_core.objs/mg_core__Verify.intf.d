@@ -1,0 +1,1 @@
+lib/core/verify.mli: Classes Format Mg_ndarray Ndarray

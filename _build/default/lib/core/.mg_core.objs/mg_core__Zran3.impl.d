@@ -1,0 +1,1 @@
+lib/core/zran3.ml: Array Bigarray Float List Mg_nasrand Mg_ndarray Ndarray

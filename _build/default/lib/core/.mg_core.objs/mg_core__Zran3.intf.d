@@ -1,0 +1,1 @@
+lib/core/zran3.mli: Mg_ndarray Ndarray

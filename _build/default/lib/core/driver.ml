@@ -1,0 +1,52 @@
+open Mg_withloop
+open Mg_smp
+
+type impl = Sac | F77 | C | Periodic
+
+let impl_of_string s =
+  match String.lowercase_ascii s with
+  | "sac" -> Some Sac
+  | "f77" | "fortran" | "fortran-77" -> Some F77
+  | "c" | "openmp" -> Some C
+  | "periodic" | "sac-periodic" -> Some Periodic
+  | _ -> None
+
+let impl_to_string = function Sac -> "sac" | F77 -> "f77" | C -> "c" | Periodic -> "periodic"
+
+type result = {
+  impl : impl;
+  cls : Classes.t;
+  rnm2 : float;
+  seconds : float;
+  status : Verify.status;
+  events : Trace.event list;
+}
+
+let run ?opt ?(threads = 1) ?(trace = false) ~impl ~cls () =
+  let saved_opt = Wl.get_opt_level () in
+  let saved_threads = Wl.get_threads () in
+  (match opt with Some l -> Wl.set_opt_level l | None -> ());
+  Wl.set_threads threads;
+  let body () =
+    match impl with
+    | Sac -> Mg_sac.run cls
+    | F77 -> Mg_f77.run cls
+    | C -> Mg_c.run cls
+    | Periodic -> Mg_periodic.run cls
+  in
+  let events, (rnm2, seconds) =
+    if trace then Trace.with_collector body else ([], body ())
+  in
+  Wl.set_opt_level saved_opt;
+  Wl.set_threads saved_threads;
+  (* Only the Fortran port preserves the reference code's exact
+     floating-point evaluation order; the C port regroups neighbour
+     sums and the with-loop optimiser reassociates freely. *)
+  let exact_order = impl = F77 in
+  { impl; cls; rnm2; seconds; status = Verify.check ~exact_order cls ~rnm2; events }
+
+let traced_run ~impl ~cls = run ~threads:1 ~trace:true ~impl ~cls ()
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-4s %a: rnm2 = %.13e  time = %8.3f s  %a"
+    (impl_to_string r.impl) Classes.pp r.cls r.rnm2 r.seconds Verify.pp_status r.status

@@ -1,0 +1,38 @@
+(** Unified benchmark driver: run any implementation on any class with
+    a chosen optimisation level and thread count, with optional
+    operation tracing — the entry point the CLI, the experiment
+    binaries and the test-suite integration tests all share. *)
+
+open Mg_withloop
+open Mg_smp
+
+type impl = Sac | F77 | C | Periodic
+
+val impl_of_string : string -> impl option
+val impl_to_string : impl -> string
+
+type result = {
+  impl : impl;
+  cls : Classes.t;
+  rnm2 : float;  (** Final residual L2 norm. *)
+  seconds : float;  (** Wall time of the iteration phase. *)
+  status : Verify.status;
+  events : Trace.event list;  (** Empty unless [trace] was requested. *)
+}
+
+val run :
+  ?opt:Wl.opt_level ->
+  ?threads:int ->
+  ?trace:bool ->
+  impl:impl ->
+  cls:Classes.t ->
+  unit ->
+  result
+(** Defaults: current global opt level, 1 thread, no trace.  The
+    global with-loop configuration is restored afterwards. *)
+
+val traced_run : impl:impl -> cls:Classes.t -> result
+(** [run ~trace:true] at sequential settings — the input for
+    {!Mg_smp.Smp_sim}. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,215 @@
+open Mg_ndarray
+module Trace = Mg_smp.Trace
+module Clock = Mg_smp.Clock
+
+let idx m i3 i2 i1 = ((i3 * m) + i2) * m + i1
+
+let cube_extent (g : Ndarray.t) =
+  let shp = Ndarray.shape g in
+  assert (Shape.rank shp = 3 && shp.(0) = shp.(1) && shp.(1) = shp.(2));
+  shp.(0)
+
+let traced tag ~extent f =
+  if Trace.enabled () then begin
+    let t0 = Clock.now () in
+    f ();
+    let n = extent - 2 in
+    Trace.emit
+      { Trace.tag;
+        elements = n * n * n;
+        seq_seconds = Clock.now () -. t0;
+        bytes_alloc = 0;
+        parallel = true;
+        level_extent = n;
+      }
+  end
+  else f ()
+
+let comm3_body (g : Ndarray.t) =
+  let m = cube_extent g in
+  let n = m - 2 in
+  let b = g.Ndarray.data in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      let row = idx m i3 i2 0 in
+      Bigarray.Array1.unsafe_set b row (Bigarray.Array1.unsafe_get b (row + n));
+      Bigarray.Array1.unsafe_set b (row + n + 1) (Bigarray.Array1.unsafe_get b (row + 1))
+    done
+  done;
+  for i3 = 1 to n do
+    for i1 = 0 to m - 1 do
+      Bigarray.Array1.unsafe_set b (idx m i3 0 i1) (Bigarray.Array1.unsafe_get b (idx m i3 n i1));
+      Bigarray.Array1.unsafe_set b (idx m i3 (n + 1) i1)
+        (Bigarray.Array1.unsafe_get b (idx m i3 1 i1))
+    done
+  done;
+  for i2 = 0 to m - 1 do
+    for i1 = 0 to m - 1 do
+      Bigarray.Array1.unsafe_set b (idx m 0 i2 i1) (Bigarray.Array1.unsafe_get b (idx m n i2 i1));
+      Bigarray.Array1.unsafe_set b (idx m (n + 1) i2 i1)
+        (Bigarray.Array1.unsafe_get b (idx m 1 i2 i1))
+    done
+  done
+
+let comm3 g =
+  if Trace.enabled () then begin
+    let t0 = Clock.now () in
+    comm3_body g;
+    let n = cube_extent g - 2 in
+    Trace.emit
+      { Trace.tag = "c:comm3";
+        elements = 6 * n * n;
+        seq_seconds = Clock.now () -. t0;
+        bytes_alloc = 0;
+        parallel = false;
+        level_extent = n;
+      }
+  end
+  else comm3_body g
+
+(* Neighbour sums recomputed per element (no line-buffer sharing).
+   Each takes the flat index of the element and the plane stride
+   [sp = m*m] / row stride [sr = m].  [@inline always] is essential:
+   an outlined call per element with a boxed float return would
+   dominate the kernels. *)
+
+let[@inline always] face_sum (b : Ndarray.buffer) p sr sp =
+  Bigarray.Array1.unsafe_get b (p - 1)
+  +. Bigarray.Array1.unsafe_get b (p + 1)
+  +. Bigarray.Array1.unsafe_get b (p - sr)
+  +. Bigarray.Array1.unsafe_get b (p + sr)
+  +. Bigarray.Array1.unsafe_get b (p - sp)
+  +. Bigarray.Array1.unsafe_get b (p + sp)
+
+let[@inline always] edge_sum (b : Ndarray.buffer) p sr sp =
+  Bigarray.Array1.unsafe_get b (p - sr - 1)
+  +. Bigarray.Array1.unsafe_get b (p - sr + 1)
+  +. Bigarray.Array1.unsafe_get b (p + sr - 1)
+  +. Bigarray.Array1.unsafe_get b (p + sr + 1)
+  +. Bigarray.Array1.unsafe_get b (p - sp - 1)
+  +. Bigarray.Array1.unsafe_get b (p - sp + 1)
+  +. Bigarray.Array1.unsafe_get b (p + sp - 1)
+  +. Bigarray.Array1.unsafe_get b (p + sp + 1)
+  +. Bigarray.Array1.unsafe_get b (p - sp - sr)
+  +. Bigarray.Array1.unsafe_get b (p - sp + sr)
+  +. Bigarray.Array1.unsafe_get b (p + sp - sr)
+  +. Bigarray.Array1.unsafe_get b (p + sp + sr)
+
+let[@inline always] corner_sum (b : Ndarray.buffer) p sr sp =
+  Bigarray.Array1.unsafe_get b (p - sp - sr - 1)
+  +. Bigarray.Array1.unsafe_get b (p - sp - sr + 1)
+  +. Bigarray.Array1.unsafe_get b (p - sp + sr - 1)
+  +. Bigarray.Array1.unsafe_get b (p - sp + sr + 1)
+  +. Bigarray.Array1.unsafe_get b (p + sp - sr - 1)
+  +. Bigarray.Array1.unsafe_get b (p + sp - sr + 1)
+  +. Bigarray.Array1.unsafe_get b (p + sp + sr - 1)
+  +. Bigarray.Array1.unsafe_get b (p + sp + sr + 1)
+
+let resid_body ~(u : Ndarray.t) ~(v : Ndarray.t) ~(r : Ndarray.t) ~(a : float array) =
+  let m = cube_extent u in
+  let n = m - 2 in
+  let ub = u.Ndarray.data and vb = v.Ndarray.data and rb = r.Ndarray.data in
+  let sr = m and sp = m * m in
+  let a0 = a.(0) and a2 = a.(2) and a3 = a.(3) in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      let row = idx m i3 i2 0 in
+      for i1 = 1 to n do
+        let p = row + i1 in
+        Bigarray.Array1.unsafe_set rb p
+          (Bigarray.Array1.unsafe_get vb p
+          -. (a0 *. Bigarray.Array1.unsafe_get ub p)
+          -. (a2 *. edge_sum ub p sr sp)
+          -. (a3 *. corner_sum ub p sr sp))
+      done
+    done
+  done
+
+let resid ~u ~v ~r ~a =
+  traced "c:resid" ~extent:(cube_extent u) (fun () -> resid_body ~u ~v ~r ~a);
+  comm3 r
+
+let psinv_body ~(r : Ndarray.t) ~(u : Ndarray.t) ~(c : float array) =
+  let m = cube_extent r in
+  let n = m - 2 in
+  let rb = r.Ndarray.data and ub = u.Ndarray.data in
+  let sr = m and sp = m * m in
+  let c0 = c.(0) and c1 = c.(1) and c2 = c.(2) in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      let row = idx m i3 i2 0 in
+      for i1 = 1 to n do
+        let p = row + i1 in
+        Bigarray.Array1.unsafe_set ub p
+          (Bigarray.Array1.unsafe_get ub p
+          +. (c0 *. Bigarray.Array1.unsafe_get rb p)
+          +. (c1 *. face_sum rb p sr sp)
+          +. (c2 *. edge_sum rb p sr sp))
+      done
+    done
+  done
+
+let psinv ~r ~u ~c =
+  traced "c:psinv" ~extent:(cube_extent r) (fun () -> psinv_body ~r ~u ~c);
+  comm3 u
+
+let rprj3_body ~(fine : Ndarray.t) ~(coarse : Ndarray.t) =
+  let mk = cube_extent fine and mj = cube_extent coarse in
+  assert (mk = (2 * mj) - 2);
+  let rb = fine.Ndarray.data and sb = coarse.Ndarray.data in
+  let sr = mk and sp = mk * mk in
+  for j3 = 1 to mj - 2 do
+    for j2 = 1 to mj - 2 do
+      for j1 = 1 to mj - 2 do
+        let p = idx mk (2 * j3) (2 * j2) (2 * j1) in
+        Bigarray.Array1.unsafe_set sb (idx mj j3 j2 j1)
+          ((0.5 *. Bigarray.Array1.unsafe_get rb p)
+          +. (0.25 *. face_sum rb p sr sp)
+          +. (0.125 *. edge_sum rb p sr sp)
+          +. (0.0625 *. corner_sum rb p sr sp))
+      done
+    done
+  done
+
+let rprj3 ~fine ~coarse =
+  traced "c:rprj3" ~extent:(cube_extent coarse) (fun () -> rprj3_body ~fine ~coarse);
+  comm3 coarse
+
+let interp_body ~(coarse : Ndarray.t) ~(fine : Ndarray.t) =
+  let mm = cube_extent coarse and n = cube_extent fine in
+  assert (n = (2 * mm) - 2);
+  let zb = coarse.Ndarray.data and ub = fine.Ndarray.data in
+  let zr = mm and zp = mm * mm in
+  let add p v = Bigarray.Array1.unsafe_set ub p (Bigarray.Array1.unsafe_get ub p +. v) in
+  let g p = Bigarray.Array1.unsafe_get zb p in
+  for o3 = 0 to mm - 2 do
+    for o2 = 0 to mm - 2 do
+      for o1 = 0 to mm - 2 do
+        let z = idx mm o3 o2 o1 in
+        let f3 = 2 * o3 and f2 = 2 * o2 and f1 = 2 * o1 in
+        add (idx n f3 f2 f1) (g z);
+        add (idx n f3 f2 (f1 + 1)) (0.5 *. (g z +. g (z + 1)));
+        add (idx n f3 (f2 + 1) f1) (0.5 *. (g z +. g (z + zr)));
+        add (idx n f3 (f2 + 1) (f1 + 1))
+          (0.25 *. (g z +. g (z + 1) +. g (z + zr) +. g (z + zr + 1)));
+        add (idx n (f3 + 1) f2 f1) (0.5 *. (g z +. g (z + zp)));
+        add (idx n (f3 + 1) f2 (f1 + 1))
+          (0.25 *. (g z +. g (z + 1) +. g (z + zp) +. g (z + zp + 1)));
+        add (idx n (f3 + 1) (f2 + 1) f1)
+          (0.25 *. (g z +. g (z + zr) +. g (z + zp) +. g (z + zp + zr)));
+        add (idx n (f3 + 1) (f2 + 1) (f1 + 1))
+          (0.125
+          *. (g z +. g (z + 1) +. g (z + zr) +. g (z + zr + 1) +. g (z + zp)
+             +. g (z + zp + 1)
+             +. g (z + zp + zr)
+             +. g (z + zp + zr + 1)))
+      done
+    done
+  done
+
+let interp ~coarse ~fine =
+  traced "c:interp" ~extent:(cube_extent fine) (fun () -> interp_body ~coarse ~fine)
+
+let routines = { Schedule.impl_name = "c"; resid; psinv; rprj3; interp }
+
+let run cls = Schedule.run routines cls

@@ -1,0 +1,44 @@
+open Mg_ndarray
+
+let norm2u3 r ~n =
+  let m = n + 2 in
+  let g = r.Ndarray.data in
+  let s = ref 0.0 and rnmu = ref 0.0 in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      let base = ((i3 * m) + i2) * m in
+      for i1 = 1 to n do
+        let v = Bigarray.Array1.unsafe_get g (base + i1) in
+        s := !s +. (v *. v);
+        let a = Float.abs v in
+        if a > !rnmu then rnmu := a
+      done
+    done
+  done;
+  let dn = float_of_int n *. float_of_int n *. float_of_int n in
+  (Float.sqrt (!s /. dn), !rnmu)
+
+type status = Verified of float | At_floor of float | Failed of float * float | No_reference
+
+let floor_threshold = 1e-12
+
+let check ?(exact_order = true) (cls : Classes.t) ~rnm2 =
+  match cls.Classes.verify_value with
+  | None -> No_reference
+  | Some expected ->
+      let err = Float.abs ((rnm2 -. expected) /. expected) in
+      if err <= Classes.verify_epsilon then Verified err
+      else if (not exact_order) && Float.abs expected < floor_threshold && rnm2 < 10.0 *. Float.abs expected
+      then At_floor err
+      else Failed (err, expected)
+
+let status_ok = function Verified _ | At_floor _ | No_reference -> true | Failed _ -> false
+
+let pp_status ppf = function
+  | Verified err -> Format.fprintf ppf "VERIFIED (relative error %.3e)" err
+  | At_floor err ->
+      Format.fprintf ppf
+        "AT ROUND-OFF FLOOR (relative error %.3e; reference below reassociation noise)" err
+  | Failed (err, expected) ->
+      Format.fprintf ppf "FAILED (relative error %.3e against %.13e)" err expected
+  | No_reference -> Format.fprintf ppf "no reference value"

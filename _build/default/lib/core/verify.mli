@@ -1,0 +1,41 @@
+(** Residual norms and NAS verification.
+
+    [norm2u3] is the reference code's norm: the root-mean-square of the
+    interior residual, [sqrt (Σ r² / (n·n·n))], plus the maximum
+    absolute interior value.  A run is {e verified} when its final
+    rnm2 matches the class's published value to the NAS tolerance
+    (relative 1e-8). *)
+
+open Mg_ndarray
+
+val norm2u3 : Ndarray.t -> n:int -> float * float
+(** [(rnm2, rnmu)] over the interior of an [(n+2)]³ grid. *)
+
+type status =
+  | Verified of float  (** Relative error against the official value. *)
+  | At_floor of float
+      (** The official value sits at the round-off floor (class W's
+          40-iteration norm is ~1e-18, i.e. machine epsilon relative to
+          the data), where only an implementation that reproduces the
+          reference's exact operation order can match it to 1e-8.  The
+          run converged to the same floor (within 10x) but its
+          arithmetic was reassociated by the optimiser. *)
+  | Failed of float * float
+  | No_reference
+
+val check : ?exact_order:bool -> Classes.t -> rnm2:float -> status
+(** [Verified rel_err] / [Failed (rel_err, expected)] against the
+    class's official value; [No_reference] for custom classes.
+    [exact_order] (default true) states that the implementation
+    preserves the reference code's floating-point evaluation order;
+    when false, sub-round-off reference values yield {!At_floor}
+    instead of a strict comparison. *)
+
+val status_ok : status -> bool
+(** [true] for everything except [Failed _]. *)
+
+val floor_threshold : float
+(** Reference values below this (1e-12) are treated as round-off-floor
+    norms for reassociated implementations. *)
+
+val pp_status : Format.formatter -> status -> unit

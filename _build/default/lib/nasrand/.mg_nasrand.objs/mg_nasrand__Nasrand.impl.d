@@ -1,0 +1,1 @@
+lib/nasrand/nasrand.ml: Float

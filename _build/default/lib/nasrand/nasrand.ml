@@ -1,0 +1,61 @@
+(* Constants of the NPB double-precision generator (randdp.f). *)
+let r23 = 0.5 ** 23.0
+let r46 = r23 *. r23
+let t23 = 2.0 ** 23.0
+let t46 = t23 *. t23
+
+let default_seed = 314159265.0
+let default_multiplier = 1220703125.0 (* 5^13 *)
+
+type state = { mutable x : float }
+
+let make ?(seed = default_seed) () = { x = seed }
+let seed_of st = st.x
+let set_seed st x = st.x <- x
+
+(* One step of x <- a*x mod 2^46 in exact double arithmetic.
+
+   Both a and x are integer-valued doubles < 2^46.  Splitting each into
+   23-bit halves keeps every intermediate product below 2^46 < 2^53, so
+   no rounding occurs and the Fortran original is matched bit for bit. *)
+let step x a =
+  let t1 = r23 *. a in
+  let a1 = Float.of_int (int_of_float t1) in
+  let a2 = a -. (t23 *. a1) in
+  let t1 = r23 *. x in
+  let x1 = Float.of_int (int_of_float t1) in
+  let x2 = x -. (t23 *. x1) in
+  let t1 = (a1 *. x2) +. (a2 *. x1) in
+  let t2 = Float.of_int (int_of_float (r23 *. t1)) in
+  let z = t1 -. (t23 *. t2) in
+  let t3 = (t23 *. z) +. (a2 *. x2) in
+  let t4 = Float.of_int (int_of_float (r46 *. t3)) in
+  t3 -. (t46 *. t4)
+
+let randlc st ~a =
+  let x' = step st.x a in
+  st.x <- x';
+  r46 *. x'
+
+let next st = randlc st ~a:default_multiplier
+
+let vranlc st ~a ~n ~f =
+  let x = ref st.x in
+  for i = 0 to n - 1 do
+    x := step !x a;
+    f i (r46 *. !x)
+  done;
+  st.x <- !x
+
+(* power(a, n) = a^n mod 2^46, by repeated squaring expressed through
+   the same modular multiply as randlc (NPB MG's power function). *)
+let power ~a ~n =
+  let p = ref 1.0 in
+  let aj = ref a in
+  let nj = ref n in
+  while !nj > 0 do
+    if !nj mod 2 = 1 then p := step !p !aj;
+    aj := step !aj !aj;
+    nj := !nj / 2
+  done;
+  !p

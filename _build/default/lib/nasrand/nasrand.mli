@@ -1,0 +1,51 @@
+(** The NAS Parallel Benchmarks pseudo-random number generator.
+
+    This is a faithful port of the [randlc] / [vranlc] / [power]
+    routines that every NPB kernel (including MG's [zran3] input
+    generator) uses: the 48-bit linear congruential sequence
+
+    {v x_{k+1} = a * x_k  mod 2^46 v}
+
+    implemented entirely in IEEE double precision by splitting operands
+    into two 23-bit halves, exactly as in the Fortran original.  Using
+    the same generator (with the standard seed 314159265 and multiplier
+    5^13) is what allows our MG implementations to be checked against
+    the {e official} NPB verification norms.
+
+    Reference: D. Bailey et al., "The NAS Parallel Benchmarks",
+    RNR-94-007, NASA Ames, 1994, and the NPB source [randdp.f]. *)
+
+val default_seed : float
+(** 314159265.0, the seed used by all NPB kernels. *)
+
+val default_multiplier : float
+(** 5^13 = 1220703125.0. *)
+
+type state
+(** Mutable generator state (the current [x_k]). *)
+
+val make : ?seed:float -> unit -> state
+
+val seed_of : state -> float
+(** The current raw state value (an integer-valued float in
+    [0, 2^46)). *)
+
+val set_seed : state -> float -> unit
+
+val randlc : state -> a:float -> float
+(** Advance the state once with multiplier [a] and return the result
+    scaled to (0, 1) — NPB's [randlc(x, a)]. *)
+
+val next : state -> float
+(** [randlc] with the {!default_multiplier}. *)
+
+val vranlc : state -> a:float -> n:int -> f:(int -> float -> unit) -> unit
+(** Generate [n] consecutive variates (multiplier [a]) and hand each to
+    [f] with its position — NPB's vectorised [vranlc] without requiring
+    a concrete output buffer type. *)
+
+val power : a:float -> n:int -> float
+(** [a^n mod 2^46] by repeated [randlc]-squaring — NPB MG's [power]
+    function, used to jump the seed ahead by [n] steps: advancing a
+    state by [randlc state ~a:(power ~a ~n)] equals applying [randlc
+    state ~a] [n] times. *)

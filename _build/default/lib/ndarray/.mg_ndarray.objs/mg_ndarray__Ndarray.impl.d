@@ -1,0 +1,1 @@
+lib/ndarray/ndarray.ml: Array Bigarray Float Format Printf Shape

@@ -1,0 +1,1 @@
+lib/ndarray/ndarray.mli: Bigarray Format Shape

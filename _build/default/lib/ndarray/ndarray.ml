@@ -1,0 +1,182 @@
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { shape : Shape.t; strides : Shape.t; data : buffer }
+
+let alloc n : buffer = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let create_uninit shp =
+  if not (Shape.is_valid shp) then
+    invalid_arg (Printf.sprintf "Ndarray.create: invalid shape %s" (Shape.to_string shp));
+  { shape = Array.copy shp; strides = Shape.strides shp; data = alloc (Shape.num_elements shp) }
+
+let create shp =
+  let a = create_uninit shp in
+  Bigarray.Array1.fill a.data 0.0;
+  a
+
+let fill_value shp v =
+  let a = create shp in
+  Bigarray.Array1.fill a.data v;
+  a
+
+let of_buffer shp data =
+  if not (Shape.is_valid shp) then
+    invalid_arg (Printf.sprintf "Ndarray.of_buffer: invalid shape %s" (Shape.to_string shp));
+  if Bigarray.Array1.dim data <> Shape.num_elements shp then
+    invalid_arg
+      (Printf.sprintf "Ndarray.of_buffer: buffer length %d does not match shape %s"
+         (Bigarray.Array1.dim data) (Shape.to_string shp));
+  { shape = Array.copy shp; strides = Shape.strides shp; data }
+
+let shape a = a.shape
+let rank a = Shape.rank a.shape
+let size a = Bigarray.Array1.dim a.data
+
+let init shp f =
+  let a = create shp in
+  let off = ref 0 in
+  Shape.iter shp (fun iv ->
+      Bigarray.Array1.unsafe_set a.data !off (f iv);
+      incr off);
+  a
+
+let init_flat shp f =
+  let a = create shp in
+  for i = 0 to size a - 1 do
+    Bigarray.Array1.unsafe_set a.data i (f i)
+  done;
+  a
+
+let copy a =
+  let b = create a.shape in
+  Bigarray.Array1.blit a.data b.data;
+  b
+
+let scalar v = fill_value [||] v
+
+let get a iv = Bigarray.Array1.get a.data (Shape.ravel ~shape:a.shape iv)
+let set a iv v = Bigarray.Array1.set a.data (Shape.ravel ~shape:a.shape iv) v
+let get_flat a i = Bigarray.Array1.get a.data i
+let set_flat a i v = Bigarray.Array1.set a.data i v
+let unsafe_get_flat a i = Bigarray.Array1.unsafe_get a.data i
+let unsafe_set_flat a i v = Bigarray.Array1.unsafe_set a.data i v
+
+let fill a v = Bigarray.Array1.fill a.data v
+
+let blit ~src ~dst =
+  if size src <> size dst then
+    invalid_arg
+      (Printf.sprintf "Ndarray.blit: size mismatch (%d vs %d)" (size src) (size dst));
+  Bigarray.Array1.blit src.data dst.data
+
+let check_same_shape name a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg
+      (Printf.sprintf "Ndarray.%s: shape mismatch (%s vs %s)" name
+         (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let map f a =
+  let b = create a.shape in
+  for i = 0 to size a - 1 do
+    Bigarray.Array1.unsafe_set b.data i (f (Bigarray.Array1.unsafe_get a.data i))
+  done;
+  b
+
+let map2 f a b =
+  check_same_shape "map2" a b;
+  let c = create a.shape in
+  for i = 0 to size a - 1 do
+    Bigarray.Array1.unsafe_set c.data i
+      (f (Bigarray.Array1.unsafe_get a.data i) (Bigarray.Array1.unsafe_get b.data i))
+  done;
+  c
+
+let iteri a f =
+  let off = ref 0 in
+  Shape.iter a.shape (fun iv ->
+      f iv (Bigarray.Array1.unsafe_get a.data !off);
+      incr off)
+
+let fold f init a =
+  let acc = ref init in
+  for i = 0 to size a - 1 do
+    acc := f !acc (Bigarray.Array1.unsafe_get a.data i)
+  done;
+  !acc
+
+let reshape a shp =
+  if Shape.num_elements shp <> size a then
+    invalid_arg
+      (Printf.sprintf "Ndarray.reshape: %s has %d elements, need %d"
+         (Shape.to_string shp) (Shape.num_elements shp) (size a));
+  { shape = Array.copy shp; strides = Shape.strides shp; data = a.data }
+
+let max_abs_diff a b =
+  check_same_shape "max_abs_diff" a b;
+  let m = ref 0.0 in
+  for i = 0 to size a - 1 do
+    let d =
+      Float.abs (Bigarray.Array1.unsafe_get a.data i -. Bigarray.Array1.unsafe_get b.data i)
+    in
+    if d > !m then m := d
+  done;
+  !m
+
+let max_rel_diff a b =
+  check_same_shape "max_rel_diff" a b;
+  let m = ref 0.0 in
+  for i = 0 to size a - 1 do
+    let x = Bigarray.Array1.unsafe_get a.data i
+    and y = Bigarray.Array1.unsafe_get b.data i in
+    let denom = Float.max 1e-300 (Float.max (Float.abs x) (Float.abs y)) in
+    let d = Float.abs (x -. y) /. denom in
+    if d > !m then m := d
+  done;
+  !m
+
+let equal ?(eps = 0.0) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let rec go i =
+    i = size a
+    || (Float.abs (Bigarray.Array1.unsafe_get a.data i -. Bigarray.Array1.unsafe_get b.data i)
+        <= eps
+       && go (i + 1))
+  in
+  go 0
+
+let to_flat_array a = Array.init (size a) (fun i -> Bigarray.Array1.unsafe_get a.data i)
+
+let of_array1 xs =
+  let n = Array.length xs in
+  init_flat [| n |] (fun i -> xs.(i))
+
+let of_array2 xss =
+  let n0 = Array.length xss in
+  let n1 = if n0 = 0 then 0 else Array.length xss.(0) in
+  if not (Array.for_all (fun row -> Array.length row = n1) xss) then
+    invalid_arg "Ndarray.of_array2: ragged input";
+  init [| n0; n1 |] (fun iv -> xss.(iv.(0)).(iv.(1)))
+
+let of_array3 xsss =
+  let n0 = Array.length xsss in
+  let n1 = if n0 = 0 then 0 else Array.length xsss.(0) in
+  let n2 = if n0 = 0 || n1 = 0 then 0 else Array.length xsss.(0).(0) in
+  let ok =
+    Array.for_all
+      (fun plane ->
+        Array.length plane = n1 && Array.for_all (fun row -> Array.length row = n2) plane)
+      xsss
+  in
+  if not ok then invalid_arg "Ndarray.of_array3: ragged input";
+  init [| n0; n1; n2 |] (fun iv -> xsss.(iv.(0)).(iv.(1)).(iv.(2)))
+
+let pp ppf a =
+  let n = min 16 (size a) in
+  Format.fprintf ppf "@[<hov 2>ndarray%a@ [" Shape.pp a.shape;
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf ppf ";@ ";
+    Format.fprintf ppf "%g" (get_flat a i)
+  done;
+  if size a > n then Format.fprintf ppf ";@ ...";
+  Format.fprintf ppf "]@]"

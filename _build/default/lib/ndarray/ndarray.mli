@@ -1,0 +1,109 @@
+(** Rank-generic dense arrays of double-precision floats.
+
+    The storage substrate for the whole framework: a flat
+    [Bigarray.Array1] of [float64] plus a {!Shape.t}, stored row-major.
+    This mirrors the memory representation SAC compiles its arrays to
+    and lets the low-level benchmark ports and the high-level WITH-loop
+    engine share buffers without copying.
+
+    Mutating operations are clearly named ([set], [fill], [blit], …);
+    the WITH-loop layer on top only ever mutates arrays it has freshly
+    allocated, preserving the functional semantics of the DSL. *)
+
+type buffer = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  shape : Shape.t;
+  strides : Shape.t;
+  data : buffer;  (** Length [Shape.num_elements shape]. *)
+}
+
+(** {1 Construction} *)
+
+val create : Shape.t -> t
+(** Fresh array of the given shape, zero-filled.
+    @raise Invalid_argument on a negative extent. *)
+
+val create_uninit : Shape.t -> t
+(** Fresh array with unspecified contents — for producers that
+    provably overwrite every element (the with-loop executor). *)
+
+val fill_value : Shape.t -> float -> t
+(** Fresh array with every element set to the given value. *)
+
+val init : Shape.t -> (Shape.t -> float) -> t
+(** [init shp f] tabulates [f] over all index vectors in row-major
+    order.  The index vector passed to [f] is reused between calls. *)
+
+val init_flat : Shape.t -> (int -> float) -> t
+(** Tabulate by linear offset. *)
+
+val copy : t -> t
+
+val of_buffer : Shape.t -> buffer -> t
+(** Wrap an existing buffer (no copy).
+    @raise Invalid_argument if the buffer length differs from the
+    number of elements of the shape. *)
+
+val scalar : float -> t
+(** Rank-0 array holding one value. *)
+
+val of_array1 : float array -> t
+val of_array2 : float array array -> t
+val of_array3 : float array array array -> t
+(** Build rank-1/2/3 arrays from nested OCaml arrays (test helpers).
+    @raise Invalid_argument on ragged input. *)
+
+(** {1 Access} *)
+
+val shape : t -> Shape.t
+val rank : t -> int
+val size : t -> int
+
+val get : t -> Shape.t -> float
+(** Bounds-checked element read. *)
+
+val set : t -> Shape.t -> float -> unit
+
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+
+val unsafe_get_flat : t -> int -> float
+val unsafe_set_flat : t -> int -> float -> unit
+
+(** {1 Bulk operations} *)
+
+val fill : t -> float -> unit
+
+val blit : src:t -> dst:t -> unit
+(** Copy all elements; shapes must have equal element counts. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** @raise Invalid_argument on shape mismatch. *)
+
+val iteri : t -> (Shape.t -> float -> unit) -> unit
+(** Row-major traversal; the index vector is reused between calls. *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val reshape : t -> Shape.t -> t
+(** Same buffer, new shape of equal element count (no copy). *)
+
+(** {1 Comparison and display} *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Shape equality plus element-wise absolute difference [<= eps]
+    (default [0.], i.e. exact). *)
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute element-wise difference.
+    @raise Invalid_argument on shape mismatch. *)
+
+val max_rel_diff : t -> t -> float
+(** Largest element-wise [|a-b| / max 1e-300 (max |a| |b|)]. *)
+
+val to_flat_array : t -> float array
+
+val pp : Format.formatter -> t -> unit
+(** Shape followed by up to 16 leading elements — diagnostic only. *)

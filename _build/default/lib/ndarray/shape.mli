@@ -1,0 +1,82 @@
+(** Shapes and index vectors for rank-generic dense arrays.
+
+    A shape is an [int array] giving the extent of every axis of an
+    array; an index vector ("iv" throughout, after SAC's [i_vec]) is an
+    [int array] of the same rank addressing one element.  All arrays are
+    stored in row-major order: the last axis varies fastest, exactly as
+    in C and in SAC's compiled representation.
+
+    Functions in this module never mutate their arguments unless the
+    name says so ([blit_add_into], …); index vectors handed to callbacks
+    by the [iter*] functions are reused between calls and must be copied
+    if retained. *)
+
+type t = int array
+(** A shape or index vector.  A valid shape has every component
+    [>= 0]; the empty array [[||]] is the shape of a scalar. *)
+
+val rank : t -> int
+(** Number of axes. *)
+
+val equal : t -> t -> bool
+(** Component-wise equality. *)
+
+val is_valid : t -> bool
+(** [true] iff every extent is non-negative. *)
+
+val num_elements : t -> int
+(** Product of all extents; [1] for the scalar shape. *)
+
+val strides : t -> t
+(** Row-major strides: [strides shp].(i) is the linear distance between
+    consecutive indices along axis [i].  The last stride is [1]. *)
+
+val ravel : shape:t -> t -> int
+(** [ravel ~shape iv] is the row-major linear offset of [iv].
+    @raise Invalid_argument if [iv] is out of bounds or of wrong rank. *)
+
+val unsafe_ravel : strides:t -> t -> int
+(** [unsafe_ravel ~strides iv] computes the dot product of [strides]
+    and [iv] without any bounds checking. *)
+
+val unravel : shape:t -> int -> t
+(** Inverse of {!ravel}: the index vector of a linear offset. *)
+
+val within : shape:t -> t -> bool
+(** [within ~shape iv] is [true] iff [iv] addresses an element. *)
+
+val iter : t -> (t -> unit) -> unit
+(** [iter shp f] calls [f] on every index vector of [shp] in row-major
+    order.  The vector passed to [f] is reused; copy it to retain it. *)
+
+val fold : t -> init:'a -> f:('a -> t -> 'a) -> 'a
+(** Row-major fold over all index vectors (same reuse caveat). *)
+
+(** {1 Index-vector arithmetic}
+
+    These mirror the vector arithmetic available on index vectors in
+    SAC generators ([shape(a) / str], [iv - pos], …).  All allocate a
+    fresh result and require equal ranks. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t  (** Component-wise truncating division. *)
+
+val scale : int -> t -> t
+val add_scalar : t -> int -> t
+val map2 : (int -> int -> int) -> t -> t -> t
+val min2 : t -> t -> t
+val max2 : t -> t -> t
+
+val replicate : int -> int -> t
+(** [replicate rank v] is the rank-[rank] vector of all [v]s — the
+    implicit scalar-to-vector promotion of SAC generators. *)
+
+val to_list : t -> int list
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[2,3,4]]. *)
+
+val to_string : t -> string

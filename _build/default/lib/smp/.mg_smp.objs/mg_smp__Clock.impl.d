@@ -1,0 +1,1 @@
+lib/smp/clock.ml: Int64 Monotonic_clock

@@ -1,0 +1,1 @@
+lib/smp/clock.mli:

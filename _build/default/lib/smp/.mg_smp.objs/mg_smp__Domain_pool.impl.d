@@ -1,0 +1,1 @@
+lib/smp/domain_pool.ml: Array Atomic Condition Domain List Mutex

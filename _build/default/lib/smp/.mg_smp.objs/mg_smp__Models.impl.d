@@ -1,0 +1,1 @@
+lib/smp/models.ml: List Smp_sim String Trace

@@ -1,0 +1,1 @@
+lib/smp/models.mli: Smp_sim

@@ -1,0 +1,1 @@
+lib/smp/smp_sim.ml: Array Float List Trace

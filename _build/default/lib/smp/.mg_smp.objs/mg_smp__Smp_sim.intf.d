@@ -1,0 +1,1 @@
+lib/smp/smp_sim.mli: Trace

@@ -1,0 +1,1 @@
+lib/smp/trace.mli: Format

@@ -1,0 +1,10 @@
+(** Monotonic wall-clock time for timing array operations. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary origin. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary origin. *)
+
+val elapsed : (unit -> 'a) -> float * 'a
+(** Run a thunk and return (seconds, result). *)

@@ -1,0 +1,149 @@
+type job = {
+  body : int -> int -> unit;
+  ranges : (int * int) array;
+  next : int Atomic.t;
+  mutable running : int;  (* participants still working, incl. caller *)
+  mutable exn : exn option;
+}
+
+type t = {
+  n : int;
+  mutable domains : unit Domain.t list;
+  m : Mutex.t;
+  cv_work : Condition.t;
+  cv_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable stop : bool;
+}
+
+let size t = t.n
+
+let run_chunks t job =
+  let nranges = Array.length job.ranges in
+  let continue = ref true in
+  while !continue do
+    let k = Atomic.fetch_and_add job.next 1 in
+    if k >= nranges then continue := false
+    else begin
+      let lo, hi = job.ranges.(k) in
+      try job.body lo hi
+      with e ->
+        Mutex.lock t.m;
+        if job.exn = None then job.exn <- Some e;
+        Mutex.unlock t.m
+    end
+  done
+
+let finish_participation t job =
+  Mutex.lock t.m;
+  job.running <- job.running - 1;
+  if job.running = 0 then Condition.broadcast t.cv_done;
+  Mutex.unlock t.m
+
+let worker t () =
+  let last_gen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !last_gen do
+      Condition.wait t.cv_work t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      continue := false
+    end
+    else begin
+      last_gen := t.generation;
+      let job = t.job in
+      Mutex.unlock t.m;
+      match job with
+      | None -> ()
+      | Some job ->
+          run_chunks t job;
+          finish_participation t job
+    end
+  done
+
+let create n =
+  if n < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    { n;
+      domains = [];
+      m = Mutex.create ();
+      cv_work = Condition.create ();
+      cv_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stop = false;
+    }
+  in
+  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let sequential = create 1
+
+let make_ranges ~lo ~hi parts =
+  let len = hi - lo in
+  let parts = max 1 (min parts len) in
+  Array.init parts (fun k ->
+      let a = lo + (len * k / parts) and b = lo + (len * (k + 1) / parts) in
+      (a, b))
+
+let parallel_for t ~lo ~hi body =
+  if hi <= lo then ()
+  else if t.n = 1 || hi - lo = 1 then body lo hi
+  else begin
+    let job =
+      { body;
+        ranges = make_ranges ~lo ~hi t.n;
+        next = Atomic.make 0;
+        running = 1 + List.length t.domains;
+        exn = None;
+      }
+    in
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cv_work;
+    Mutex.unlock t.m;
+    run_chunks t job;
+    finish_participation t job;
+    Mutex.lock t.m;
+    while job.running > 0 do
+      Condition.wait t.cv_done t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m;
+    match job.exn with None -> () | Some e -> raise e
+  end
+
+let shutdown t =
+  if t.domains <> [] then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.cv_work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let global = ref None
+let global_size = ref 1
+
+let get_global () =
+  match !global with
+  | Some p when p.n = !global_size && not p.stop -> p
+  | Some p ->
+      shutdown p;
+      let p' = create !global_size in
+      global := Some p';
+      p'
+  | None ->
+      let p = create !global_size in
+      global := Some p;
+      p
+
+let set_global_size n =
+  if n < 1 then invalid_arg "Domain_pool.set_global_size: size must be >= 1";
+  global_size := n

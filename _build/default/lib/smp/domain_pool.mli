@@ -1,0 +1,40 @@
+(** A persistent pool of OCaml 5 domains for data-parallel loops.
+
+    This is the execution substrate behind the with-loop engine's
+    implicit parallelisation, playing the role of SAC's pthread-based
+    multithreaded runtime system (Grelck, IFL'98): a fixed team of
+    worker domains is created once and with-loops are distributed over
+    it in contiguous chunks; the calling domain always participates, so
+    a pool of size [n] uses [n] domains in total ([n - 1] workers).
+
+    Work items must not raise: an escaping exception from worker code
+    is re-raised on the caller after the barrier, but the pool remains
+    usable. *)
+
+type t
+
+val create : int -> t
+(** [create n] starts a pool executing on [n] domains ([n >= 1]; [1]
+    means purely sequential execution on the caller). *)
+
+val size : t -> int
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi body] partitions the half-open range
+    [lo, hi) into [size pool] near-equal contiguous chunks and runs
+    [body chunk_lo chunk_hi] for each, concurrently.  Returns when all
+    chunks have completed. *)
+
+val sequential : t
+(** A pool of size 1 that never spawns domains. *)
+
+val shutdown : t -> unit
+(** Terminate worker domains.  The pool must not be used afterwards;
+    calling [shutdown] on {!sequential} is a no-op. *)
+
+val get_global : unit -> t
+(** The process-wide pool, created on first use with a size given by
+    [set_global_size] (default 1). *)
+
+val set_global_size : int -> unit
+(** Resize the global pool (shuts down the previous one). *)

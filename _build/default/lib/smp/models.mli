@@ -1,0 +1,27 @@
+(** Machine models of the three parallel execution systems of the
+    paper's experiments (§5), for use with {!Smp_sim}.
+
+    Constants were calibrated once against the paper's reported
+    end-points (SAC 5.3/7.6, auto-parallelised Fortran 2.8/4.0, OpenMP
+    8.0/9.0 at 10 processors for classes W/A) and are held fixed; see
+    EXPERIMENTS.md for the calibration protocol.  What each model may
+    parallelise is structural, not calibrated:
+
+    - {!sac}: every with-loop (tags [wl:*]), implicitly; pays dynamic
+      memory management on every allocating operation and falls back
+      to sequential execution under the size threshold.
+    - {!f77_autopar}: only the regular [resid]/[psinv] loop nests of
+      the Fortran reference (tags [f77:resid], [f77:psinv]) — the
+      line-buffered [rprj3]/[interp] nests and the boundary copies
+      defeat the automatic paralleliser.
+    - {!openmp}: every directive-annotated loop of the C port (tags
+      [c:resid], [c:psinv], [c:rprj3], [c:interp]) with the low
+      per-loop overhead of a static-schedule OpenMP runtime. *)
+
+val sac : Smp_sim.machine
+val f77_autopar : Smp_sim.machine
+val openmp : Smp_sim.machine
+
+val all : Smp_sim.machine list
+
+val of_name : string -> Smp_sim.machine option

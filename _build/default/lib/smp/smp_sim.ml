@@ -1,0 +1,45 @@
+type machine = {
+  name : string;
+  can_parallelize : Trace.event -> bool;
+  min_par_elements : int;
+  spawn_seconds : float;
+  chunk_seconds : float;
+  imbalance : float;
+  mem_per_alloc_seconds : float;
+}
+
+let predict_event m ~procs (ev : Trace.event) =
+  let mem = if ev.bytes_alloc > 0 then m.mem_per_alloc_seconds else 0.0 in
+  (* The memory-manager share of the measured time cannot exceed the
+     measurement itself. *)
+  let mem = Float.min mem (0.9 *. ev.seq_seconds) in
+  let work = ev.seq_seconds -. mem in
+  if procs > 1 && m.can_parallelize ev && ev.elements >= m.min_par_elements then begin
+    let p = float_of_int procs in
+    let eff = 1.0 /. (1.0 +. (m.imbalance *. (p -. 1.0))) in
+    (work /. (p *. eff)) +. m.spawn_seconds +. (m.chunk_seconds *. p) +. mem
+  end
+  else ev.seq_seconds
+
+let predict m ~procs evs = List.fold_left (fun acc ev -> acc +. predict_event m ~procs ev) 0.0 evs
+
+let speedup_series m ~max_procs evs =
+  let t1 = predict m ~procs:1 evs in
+  Array.init max_procs (fun i ->
+      let p = i + 1 in
+      (p, t1 /. predict m ~procs:p evs))
+
+let parallel_fraction m evs =
+  let total = Trace.total_seconds evs in
+  if total = 0.0 then 0.0
+  else begin
+    let par =
+      List.fold_left
+        (fun acc (ev : Trace.event) ->
+          if m.can_parallelize ev && ev.elements >= m.min_par_elements then
+            acc +. ev.seq_seconds
+          else acc)
+        0.0 evs
+    in
+    par /. total
+  end

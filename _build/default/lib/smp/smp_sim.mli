@@ -1,0 +1,55 @@
+(** Trace-driven shared-memory-multiprocessor simulation.
+
+    The container this repository runs in has a single CPU, so the
+    paper's speedup experiments (Figs. 12 and 13, on a 12-processor
+    SUN Enterprise 4000) cannot be measured natively.  Instead, a
+    {e measured sequential trace} of array operations (one
+    {!Trace.event} per operation, with real wall-clock cost) is
+    replayed under a {!machine} model that captures exactly the
+    scaling mechanisms §5 of the paper analyses:
+
+    - which loops an implementation's compiler can parallelise at all
+      ([can_parallelize] — the automatic paralleliser only handles the
+      regular [resid]/[psinv] nests, OpenMP parallelises every
+      directive-annotated loop, SAC parallelises every with-loop);
+    - the per-loop fork/join cost ([spawn_seconds], [chunk_seconds]);
+    - the sequential execution of small grids at the bottom of the
+      V-cycle ([min_par_elements] — "below a certain threshold grid
+      size it is advised to perform all operations sequentially");
+    - load imbalance growing with the processor count ([imbalance]);
+    - and SAC's dynamic memory management, whose per-operation cost
+      does not shrink with the grid or the processor count
+      ([mem_per_alloc_seconds] — "invariant against grid sizes", the
+      reason class W scales worse than class A).
+
+    Machine-model constants are calibrated once (see {!Models}) and
+    then held fixed across size classes and processor counts; the
+    experiment binaries test which curve {e shapes} emerge. *)
+
+type machine = {
+  name : string;
+  can_parallelize : Trace.event -> bool;
+  min_par_elements : int;
+  spawn_seconds : float;  (** Fixed fork/join cost per parallel loop. *)
+  chunk_seconds : float;  (** Additional per-processor cost per loop. *)
+  imbalance : float;
+      (** Efficiency loss per extra processor: a loop's parallel time
+          is [work / (p / (1 + imbalance * (p - 1)))]. *)
+  mem_per_alloc_seconds : float;
+      (** Memory-manager cost charged to every allocating operation,
+          never divided by [p]. *)
+}
+
+val predict_event : machine -> procs:int -> Trace.event -> float
+(** Modelled wall time of one operation on [procs] processors. *)
+
+val predict : machine -> procs:int -> Trace.event list -> float
+(** Modelled wall time of a whole trace (operations are serially
+    dependent in MG, so times add). *)
+
+val speedup_series : machine -> max_procs:int -> Trace.event list -> (int * float) array
+(** [(p, predict(1) / predict(p))] for p = 1..max_procs. *)
+
+val parallel_fraction : machine -> Trace.event list -> float
+(** Fraction of sequential time spent in operations the machine can
+    parallelise — the Amdahl bound diagnostic. *)

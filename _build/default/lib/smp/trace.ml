@@ -1,0 +1,34 @@
+type event = {
+  tag : string;
+  elements : int;
+  seq_seconds : float;
+  bytes_alloc : int;
+  parallel : bool;
+  level_extent : int;
+}
+
+let sink : (event -> unit) option ref = ref None
+
+let enabled () = !sink <> None
+
+let emit ev = match !sink with None -> () | Some f -> f ev
+
+let set_sink s = sink := s
+
+let with_collector f =
+  let saved = !sink in
+  let events = ref [] in
+  sink := Some (fun ev -> events := ev :: !events);
+  match f () with
+  | r ->
+      sink := saved;
+      (List.rev !events, r)
+  | exception e ->
+      sink := saved;
+      raise e
+
+let total_seconds evs = List.fold_left (fun acc ev -> acc +. ev.seq_seconds) 0.0 evs
+
+let pp_event ppf ev =
+  Format.fprintf ppf "%-24s %10d elts  %9.6fs  %8d B  par=%b  n=%d" ev.tag ev.elements
+    ev.seq_seconds ev.bytes_alloc ev.parallel ev.level_extent

@@ -1,0 +1,44 @@
+(** Array-operation traces.
+
+    Every executed array operation — a with-loop part in the SAC-style
+    implementation, a Fortran/C-style loop nest in the low-level ports —
+    can emit one {!event} describing how much work it did, whether the
+    operation is data-parallel, and how long it actually took when run
+    sequentially on this machine.
+
+    Traces feed {!Smp_sim}, the shared-memory-multiprocessor cost-model
+    simulator used to reproduce the paper's speedup figures on a
+    single-core container: the simulator replays a measured sequential
+    trace under a machine model for P processors.  Events are also a
+    convenient profiling surface ([mg_run --profile]). *)
+
+type event = {
+  tag : string;  (** Operation name, e.g. ["resid"], ["wl:genarray"]. *)
+  elements : int;  (** Index-space points computed. *)
+  seq_seconds : float;  (** Measured sequential wall time of this operation. *)
+  bytes_alloc : int;  (** Fresh heap bytes allocated for the result (0 when a
+                          static buffer was reused). *)
+  parallel : bool;  (** Whether the operation is a data-parallel loop that an
+                        implicitly parallelising compiler may distribute. *)
+  level_extent : int;  (** Characteristic grid extent (for per-level analyses
+                           of the V-cycle); 0 when not applicable. *)
+}
+
+val emit : event -> unit
+(** Send an event to the current sink (a no-op when tracing is off).
+    Emission costs one monotonic-clock read at call sites even when
+    disabled; call sites should guard hot inner loops with {!enabled}. *)
+
+val enabled : unit -> bool
+
+val with_collector : (unit -> 'a) -> event list * 'a
+(** Run a thunk with tracing directed to a fresh collector and return
+    the events in emission order together with the thunk's result.
+    Restores the previous sink afterwards (exceptions included);
+    collectors nest. *)
+
+val set_sink : (event -> unit) option -> unit
+(** Install a custom sink ([None] disables tracing). *)
+
+val total_seconds : event list -> float
+val pp_event : Format.formatter -> event -> unit

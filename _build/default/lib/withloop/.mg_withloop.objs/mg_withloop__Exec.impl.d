@@ -1,0 +1,1 @@
+lib/withloop/exec.ml: Array Bigarray Float Format Fusion Generator Hashtbl Ir Ixmap Linform List Mg_ndarray Mg_smp Ndarray Printf Shape Sys

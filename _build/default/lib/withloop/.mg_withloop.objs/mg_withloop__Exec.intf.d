@@ -1,0 +1,1 @@
+lib/withloop/exec.mli: Fusion Generator Ir Mg_ndarray Mg_smp Ndarray

@@ -1,0 +1,1 @@
+lib/withloop/fusion.ml: Array Format Generator Ir Ixmap List Mg_ndarray Ndarray Printf Shape

@@ -1,0 +1,1 @@
+lib/withloop/fusion.mli: Generator Ir Ixmap Mg_ndarray Ndarray

@@ -1,0 +1,1 @@
+lib/withloop/generator.ml: Array Format Hashtbl List Mg_ndarray Shape

@@ -1,0 +1,1 @@
+lib/withloop/generator.mli: Format Mg_ndarray Shape

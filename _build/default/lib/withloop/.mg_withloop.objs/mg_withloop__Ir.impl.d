@@ -1,0 +1,1 @@
+lib/withloop/ir.ml: Array Format Generator Ixmap List Mg_ndarray Ndarray Printf Shape

@@ -1,0 +1,1 @@
+lib/withloop/ir.mli: Format Generator Ixmap Mg_ndarray Ndarray Shape

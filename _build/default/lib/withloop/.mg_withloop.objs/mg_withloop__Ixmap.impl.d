@@ -1,0 +1,1 @@
+lib/withloop/ixmap.ml: Array Format Generator Mg_ndarray Shape

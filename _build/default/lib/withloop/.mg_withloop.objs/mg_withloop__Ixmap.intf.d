@@ -1,0 +1,1 @@
+lib/withloop/ixmap.mli: Format Generator Mg_ndarray Shape

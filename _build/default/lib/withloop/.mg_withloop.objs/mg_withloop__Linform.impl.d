@@ -1,0 +1,1 @@
+lib/withloop/linform.ml: Ir Ixmap List Mg_ndarray Ndarray Option

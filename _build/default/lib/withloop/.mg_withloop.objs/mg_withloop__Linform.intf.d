@@ -1,0 +1,1 @@
+lib/withloop/linform.mli: Ir Ixmap Mg_ndarray Ndarray

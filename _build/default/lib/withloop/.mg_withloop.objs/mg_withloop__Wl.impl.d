@@ -1,0 +1,1 @@
+lib/withloop/wl.ml: Exec Fusion Gc Ir Ixmap Lazy List Mg_ndarray Mg_smp Ndarray Shape

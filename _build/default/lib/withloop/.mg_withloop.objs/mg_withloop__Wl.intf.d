@@ -1,0 +1,1 @@
+lib/withloop/wl.mli: Exec Generator Ir Ixmap Mg_ndarray Ndarray Shape

@@ -1,0 +1,53 @@
+(** The with-loop executor: sac2c's code generator and runtime, in one.
+
+    Forcing a node runs the optimisation pipeline on each part
+    ({!Fusion} folding, {!Linform} extraction and coefficient
+    factoring), compiles the resulting bodies and executes them into a
+    freshly allocated result array.  Linear bodies compile to
+    incremental flat-index loop nests ("clusters" of reads off one
+    source with constant offsets — the shape of every NAS-MG stencil);
+    anything else falls back to a closure interpreter over absolute
+    index vectors.  Work is distributed over a {!Mg_smp.Domain_pool}
+    along axis 0 when a part is large enough.
+
+    Every force emits one {!Mg_smp.Trace} event carrying the node's own
+    (self) execution time, excluding nested producer forces. *)
+
+open Mg_ndarray
+
+type settings = {
+  fusion : Fusion.config;
+  factor : bool;  (** Group stencil terms by coefficient (27→4 mults). *)
+  pool : unit -> Mg_smp.Domain_pool.t;
+  par_threshold : int;
+      (** Minimum index-space cardinality before a part is run in
+          parallel — the paper's "below a certain threshold grid size
+          … perform all operations sequentially" (§5). *)
+}
+
+val force : settings -> Ir.node -> Ndarray.t
+(** Idempotent: cached after the first call. *)
+
+type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
+
+val eval_fold :
+  settings -> op:fold_op -> neutral:float -> Generator.t -> Ir.expr -> float
+(** SAC's [fold] with-loop: combine the body's value over every index
+    of the generator, in row-major order starting from [neutral]. *)
+
+(** {1 Executor path counters} (diagnostics) *)
+
+val hits_stencil : int ref
+(** Parts executed by the specialised box-stencil kernel. *)
+
+val hits_copy : int ref
+(** Parts executed as row blits. *)
+
+val hits_generic : int ref
+(** Parts executed by the generic cluster loop nest. *)
+
+val hits_interp : int ref
+(** Parts executed by the specialised scatter-interpolation kernel. *)
+
+val hits_cfun : int ref
+(** Parts executed by the closure interpreter (fallback). *)

@@ -1,0 +1,290 @@
+open Mg_ndarray
+
+type config = { fold : bool; split_strided : bool; split_threshold : int }
+
+(* ------------------------------------------------------------------ *)
+(* Index substitution                                                  *)
+
+let rec subst_index m : Ir.expr -> Ir.expr = function
+  | Ir.Const c -> Ir.Const c
+  | Ir.Read (s, m') -> Ir.Read (s, Ixmap.compose ~outer:m' ~inner:m)
+  | Ir.Neg e -> Ir.Neg (subst_index m e)
+  | Ir.Sqrt e -> Ir.Sqrt (subst_index m e)
+  | Ir.Absf e -> Ir.Absf (subst_index m e)
+  | Ir.Add (a, b) -> Ir.Add (subst_index m a, subst_index m b)
+  | Ir.Sub (a, b) -> Ir.Sub (subst_index m a, subst_index m b)
+  | Ir.Mul (a, b) -> Ir.Mul (subst_index m a, subst_index m b)
+  | Ir.Divf (a, b) -> Ir.Divf (subst_index m a, subst_index m b)
+  | Ir.Opaque f -> Ir.Opaque (fun iv -> f (Ixmap.apply m iv))
+
+(* Replace one node source by its materialised array everywhere. *)
+let rec replace_source (n : Ir.node) (arr : Ndarray.t) : Ir.expr -> Ir.expr = function
+  | Ir.Const c -> Ir.Const c
+  | Ir.Read (Ir.Node n', m) when n' == n -> Ir.Read (Ir.Arr arr, m)
+  | Ir.Read (s, m) -> Ir.Read (s, m)
+  | Ir.Neg e -> Ir.Neg (replace_source n arr e)
+  | Ir.Sqrt e -> Ir.Sqrt (replace_source n arr e)
+  | Ir.Absf e -> Ir.Absf (replace_source n arr e)
+  | Ir.Add (a, b) -> Ir.Add (replace_source n arr a, replace_source n arr b)
+  | Ir.Sub (a, b) -> Ir.Sub (replace_source n arr a, replace_source n arr b)
+  | Ir.Mul (a, b) -> Ir.Mul (replace_source n arr a, replace_source n arr b)
+  | Ir.Divf (a, b) -> Ir.Divf (replace_source n arr a, replace_source n arr b)
+  | Ir.Opaque f -> Ir.Opaque f
+
+(* ------------------------------------------------------------------ *)
+(* Folding policy                                                      *)
+
+let is_cheap_body = function Ir.Const _ | Ir.Read (_, _) -> true | _ -> false
+
+let node_parts (n : Ir.node) =
+  match n.Ir.spec with Ir.Genarray { parts; _ } -> parts | Ir.Modarray { parts; _ } -> parts
+
+let is_selection n = List.for_all (fun (p : Ir.part) -> is_cheap_body p.Ir.body) (node_parts n)
+
+let wants_fold cfg (n : Ir.node) =
+  cfg.fold && n.Ir.cache = None
+  && (not n.Ir.barrier)
+  && (n.Ir.refs <= 1 || is_selection n)
+
+(* WLF profitability: substituting a producer with [p] reads into a
+   consumer that reads it [c] times recomputes the producer body [c]
+   times per element.  Beyond this budget the recomputation outweighs
+   the saved materialisation (the classic case: folding an element-wise
+   intermediate into every point of a following stencil). *)
+let fold_budget = 64
+
+let producer_read_count (n : Ir.node) =
+  List.fold_left
+    (fun acc (p : Ir.part) -> max acc (List.length (Ir.expr_reads p.Ir.body)))
+    0 (node_parts n)
+
+(* ------------------------------------------------------------------ *)
+(* Classification of one read against a producer                       *)
+
+type verdict =
+  | Pure_part of Ir.part
+  | Pure_fallback
+  | Need_split of Generator.t list
+  | Give_up
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Per-axis image of the consumer generator under the read map.  A
+   single-coordinate axis is reported with istep = 0 so that residue
+   analysis cannot ask for a pointless split. *)
+let image_of_axis (g : Generator.t) m j =
+  let positions = Generator.axis_positions g j in
+  let count = Array.length positions in
+  assert (count > 0);
+  let lo = positions.(0) in
+  if count = 1 then begin
+    let first, _, _ = Ixmap.image_axis m ~axis:j ~lo ~hi:(lo + 1) ~step:1 in
+    (first, first, 0, count)
+  end
+  else begin
+    (* width is 1 on any axis that matters here (checked by caller). *)
+    let step = positions.(1) - positions.(0) in
+    let hi = positions.(count - 1) + 1 in
+    let first, last, istep = Ixmap.image_axis m ~axis:j ~lo ~hi ~step in
+    (first, last, istep, count)
+  end
+
+type axis_status =
+  | Ax_in
+  | Ax_out
+  | Ax_split_range of int * int  (* producer-part band [plb, pub) *)
+  | Ax_split_residue of int  (* number of consumer residue classes *)
+  | Ax_fail
+
+let classify_axis (g : Generator.t) m (pg : Generator.t) j =
+  if g.Generator.width.(j) <> 1 && g.Generator.step.(j) <> 1 then Ax_fail
+  else begin
+    let first, last, istep, _count = image_of_axis g m j in
+    let plb = pg.Generator.lb.(j)
+    and pub = pg.Generator.ub.(j)
+    and ps = pg.Generator.step.(j)
+    and pw = pg.Generator.width.(j) in
+    if pw > 1 && ps > 1 then Ax_fail
+    else if last < plb || first >= pub then Ax_out
+    else if ps > 1 && istep mod ps <> 0 then Ax_split_residue (ps / gcd (abs istep) ps)
+    else begin
+      let residue_ok = ps = 1 || (((first - plb) mod ps) + ps) mod ps = 0 in
+      if not residue_ok then Ax_out
+      else if first >= plb && last < pub then Ax_in
+      else Ax_split_range (plb, pub)
+    end
+  end
+
+(* Split the consumer generator along axis [j] so that the image either
+   stays inside [plb, pub) or outside it on every piece. *)
+let split_range g m j (plb, pub) =
+  let positions = Generator.axis_positions g j in
+  let count = Array.length positions in
+  let lo = positions.(0) in
+  let step = if count = 1 then 1 else positions.(1) - positions.(0) in
+  let first, _, istep, _ = image_of_axis g m j in
+  assert (istep > 0);
+  (* k-index thresholds where the image reaches plb and pub. *)
+  let ceil_div a b = if a <= 0 then 0 else (a + b - 1) / b in
+  let k_lo = ceil_div (plb - first) istep in
+  let k_hi = ceil_div (pub - first) istep in
+  let coord k = lo + (k * step) in
+  let c0 = lo and cend = positions.(count - 1) + 1 in
+  let clamp k = if k <= 0 then c0 else if k >= count then cend else coord k in
+  let c_lo = clamp k_lo and c_hi = clamp k_hi in
+  let bands = [ (c0, c_lo); (c_lo, c_hi); (c_hi, cend) ] in
+  List.filter_map
+    (fun (lo', hi') ->
+      if lo' >= hi' then None else Generator.restrict_axis g ~axis:j ~lo:lo' ~hi:hi')
+    bands
+
+(* Split the consumer generator along axis [j] into [classes] residue
+   classes of its iteration index. *)
+let split_residue g j classes =
+  let positions = Generator.axis_positions g j in
+  let count = Array.length positions in
+  let lo = positions.(0) in
+  let step = if count = 1 then 1 else positions.(1) - positions.(0) in
+  let modulus = classes * step in
+  List.filter_map
+    (fun r ->
+      let residue = (((lo + (r * step)) mod modulus) + modulus) mod modulus in
+      Generator.refine_axis_mod g ~axis:j ~modulus ~residue)
+    (List.init classes (fun r -> r))
+
+let check_in_shape (g : Generator.t) m (shape : Shape.t) =
+  for j = 0 to Shape.rank shape - 1 do
+    let first, last, _, _ = image_of_axis g m j in
+    if first < 0 || last >= shape.(j) then
+      invalid_arg
+        (Printf.sprintf
+           "Fusion: read image [%d,%d] escapes producer shape %s on axis %d (consumer %s)"
+           first last (Shape.to_string shape) j
+           (Format.asprintf "%a" Generator.pp g))
+  done
+
+let classify cfg (g : Generator.t) m (producer : Ir.node) : verdict =
+  check_in_shape g m producer.Ir.nshape;
+  let parts = node_parts producer in
+  let n_axes = Generator.rank g in
+  let rec over_parts remaining =
+    match remaining with
+    | [] -> Pure_fallback
+    | (pp : Ir.part) :: rest ->
+        if Generator.is_empty pp.Ir.gen then over_parts rest
+        else begin
+          let statuses = Array.init n_axes (fun j -> classify_axis g m pp.Ir.gen j) in
+          if Array.exists (fun s -> s = Ax_fail) statuses then Give_up
+          else if Array.exists (fun s -> s = Ax_out) statuses then over_parts rest
+          else if Array.for_all (fun s -> s = Ax_in) statuses then Pure_part pp
+          else begin
+            (* First axis that needs splitting decides. *)
+            let rec first_split j =
+              if j = n_axes then Give_up
+              else
+                match statuses.(j) with
+                | Ax_split_range (plb, pub) -> Need_split (split_range g m j (plb, pub))
+                | Ax_split_residue classes ->
+                    if cfg.split_strided then Need_split (split_residue g j classes) else Give_up
+                | Ax_in | Ax_out | Ax_fail -> first_split (j + 1)
+            in
+            first_split 0
+          end
+        end
+  in
+  over_parts parts
+
+(* ------------------------------------------------------------------ *)
+(* The rewriting loop                                                  *)
+
+let first_node_read body =
+  let found = ref None in
+  List.iter
+    (fun (s, _) ->
+      match (s, !found) with Ir.Node n, None -> found := Some n | _ -> ())
+    (Ir.expr_reads body);
+  !found
+
+(* All reads of node [n] in [body], in reading order. *)
+let reads_of body n =
+  List.filter_map
+    (fun (s, m) -> match s with Ir.Node n' when n' == n -> Some m | _ -> None)
+    (Ir.expr_reads body)
+
+let substitute_reads (n : Ir.node) (verdicts : (Ixmap.t * verdict) list) body =
+  Ir.expr_map_reads
+    (fun s m ->
+      match s with
+      | Ir.Node n' when n' == n -> (
+          let v =
+            (* Maps are compared structurally; duplicate (map, verdict)
+               pairs agree by construction. *)
+            match List.find_opt (fun (m', _) -> Ixmap.equal m m') verdicts with
+            | Some (_, v) -> v
+            | None -> Give_up
+          in
+          match v with
+          | Pure_part pp -> subst_index m pp.Ir.body
+          | Pure_fallback -> (
+              match n.Ir.spec with
+              | Ir.Genarray { default; _ } -> Ir.Const default
+              | Ir.Modarray { base; _ } -> Ir.Read (base, m))
+          | Need_split _ | Give_up -> assert false)
+      | _ -> Ir.Read (s, m))
+    body
+
+type step = Done | Replaced of Ir.expr | Splits of Generator.t list
+
+let rewrite_step cfg ~force (gen : Generator.t) body : step =
+  match first_node_read body with
+  | None -> Done
+  | Some n ->
+      let materialize () =
+        let arr = force n in
+        Replaced (replace_source n arr body)
+      in
+      if not (wants_fold cfg n) then materialize ()
+      else begin
+        let maps = reads_of body n in
+        (* Both checks are needed: the product bounds one substitution's
+           blow-up, the total bounds the cascade across a chain of
+           producers (a V-cycle fuses level into level into level —
+           without the cap the body grows exponentially in depth). *)
+        let body_reads = List.length (Ir.expr_reads body) in
+        if
+          List.length maps * producer_read_count n > fold_budget
+          || body_reads + (List.length maps * (producer_read_count n - 1)) > fold_budget
+        then materialize ()
+        else begin
+        let rec judge acc = function
+          | [] -> Replaced (substitute_reads n (List.rev acc) body)
+          | m :: rest ->
+              if not (Ixmap.exact_on m gen) then materialize ()
+              else begin
+                match classify cfg gen m n with
+                | Give_up -> materialize ()
+                | Need_split gens ->
+                    (* Splitting a tiny part costs more than just
+                       computing the producer array. *)
+                    if Generator.cardinal gen >= cfg.split_threshold then Splits gens
+                    else materialize ()
+                | (Pure_part _ | Pure_fallback) as v -> judge ((m, v) :: acc) rest
+              end
+        in
+        judge [] maps
+        end
+      end
+
+let optimize cfg ~force gen body =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (g, b) :: rest ->
+        if Generator.is_empty g then go acc rest
+        else begin
+          match rewrite_step cfg ~force g b with
+          | Done -> go ({ Ir.gen = g; body = b } :: acc) rest
+          | Replaced b' -> go acc ((g, b') :: rest)
+          | Splits gens -> go acc (List.map (fun g' -> (g', b)) gens @ rest)
+        end
+  in
+  go [] [ (gen, body) ]

@@ -1,0 +1,148 @@
+open Mg_ndarray
+
+type expr =
+  | Const of float
+  | Read of source * Ixmap.t
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Divf of expr * expr
+  | Sqrt of expr
+  | Absf of expr
+  | Opaque of (Shape.t -> float)
+
+and source = Arr of Ndarray.t | Node of node
+
+and node = {
+  nid : int;
+  nshape : Shape.t;
+  spec : spec;
+  barrier : bool;
+  mutable refs : int;
+  mutable escaped : bool;
+  mutable cache : Ndarray.t option;
+}
+
+and spec =
+  | Genarray of { default : float; parts : part list }
+  | Modarray of { base : source; parts : part list }
+
+and part = { gen : Generator.t; body : expr }
+
+let counter = ref 0
+let reset_ids () = counter := 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let source_shape = function Arr a -> Ndarray.shape a | Node n -> n.nshape
+
+let node_of_ndarray a = Arr a
+
+let rec expr_reads = function
+  | Const _ | Opaque _ -> []
+  | Read (s, m) -> [ (s, m) ]
+  | Neg e | Sqrt e | Absf e -> expr_reads e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Divf (a, b) -> expr_reads a @ expr_reads b
+
+let rec expr_map_reads f = function
+  | (Const _ | Opaque _) as e -> e
+  | Read (s, m) -> f s m
+  | Neg e -> Neg (expr_map_reads f e)
+  | Sqrt e -> Sqrt (expr_map_reads f e)
+  | Absf e -> Absf (expr_map_reads f e)
+  | Add (a, b) -> Add (expr_map_reads f a, expr_map_reads f b)
+  | Sub (a, b) -> Sub (expr_map_reads f a, expr_map_reads f b)
+  | Mul (a, b) -> Mul (expr_map_reads f a, expr_map_reads f b)
+  | Divf (a, b) -> Divf (expr_map_reads f a, expr_map_reads f b)
+
+let expr_sources e =
+  let srcs = List.map fst (expr_reads e) in
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+        let same s' = match (s, s') with
+          | Node a, Node b -> a == b
+          | Arr a, Arr b -> a == b
+          | _ -> false
+        in
+        if List.exists same acc then dedup acc rest else dedup (s :: acc) rest
+  in
+  dedup [] srcs
+
+let incr_refs = function Arr _ -> () | Node n -> n.refs <- n.refs + 1
+let decr_refs = function Arr _ -> () | Node n -> n.refs <- n.refs - 1
+
+let set_cache n a = n.cache <- Some a
+let clear_cache n = n.cache <- None
+let mark_escaped n = n.escaped <- true
+
+let validate_part shp { gen; body = _ } =
+  if Generator.rank gen <> Shape.rank shp then
+    invalid_arg "Ir: generator rank does not match result shape";
+  for j = 0 to Shape.rank shp - 1 do
+    if gen.Generator.lb.(j) < 0 || gen.Generator.ub.(j) > shp.(j) then
+      invalid_arg
+        (Printf.sprintf "Ir: generator %s escapes shape %s"
+           (Format.asprintf "%a" Generator.pp gen)
+           (Shape.to_string shp))
+  done
+
+let register_part_sources parts =
+  List.iter (fun p -> List.iter incr_refs (expr_sources p.body)) parts
+
+let genarray ?(barrier = false) ?(default = 0.0) shp parts =
+  List.iter (validate_part shp) parts;
+  register_part_sources parts;
+  { nid = next_id ();
+    nshape = Array.copy shp;
+    spec = Genarray { default; parts };
+    barrier;
+    refs = 0;
+    escaped = false;
+    cache = None;
+  }
+
+let modarray ?(barrier = false) base parts =
+  let shp = source_shape base in
+  List.iter (validate_part shp) parts;
+  incr_refs base;
+  register_part_sources parts;
+  { nid = next_id ();
+    nshape = shp;
+    spec = Modarray { base; parts };
+    barrier;
+    refs = 0;
+    escaped = false;
+    cache = None;
+  }
+
+let rec pp_expr ppf = function
+  | Const c -> Format.fprintf ppf "%g" c
+  | Read (Arr a, m) -> Format.fprintf ppf "arr%a[%a]" Shape.pp (Ndarray.shape a) Ixmap.pp m
+  | Read (Node n, m) -> Format.fprintf ppf "n%d[%a]" n.nid Ixmap.pp m
+  | Neg e -> Format.fprintf ppf "(- %a)" pp_expr e
+  | Sqrt e -> Format.fprintf ppf "sqrt(%a)" pp_expr e
+  | Absf e -> Format.fprintf ppf "abs(%a)" pp_expr e
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Divf (a, b) -> Format.fprintf ppf "(%a / %a)" pp_expr a pp_expr b
+  | Opaque _ -> Format.fprintf ppf "<opaque>"
+
+let pp_node ppf n =
+  let pp_parts ppf parts =
+    List.iter
+      (fun p -> Format.fprintf ppf "@,  %a -> %a" Generator.pp p.gen pp_expr p.body)
+      parts
+  in
+  match n.spec with
+  | Genarray { default; parts } ->
+      Format.fprintf ppf "@[<v>n%d = genarray%a default %g refs=%d%a@]" n.nid Shape.pp n.nshape
+        default n.refs pp_parts parts
+  | Modarray { base; parts } ->
+      let base_id = match base with Arr _ -> "arr" | Node m -> Printf.sprintf "n%d" m.nid in
+      Format.fprintf ppf "@[<v>n%d = modarray%a base %s refs=%d%a@]" n.nid Shape.pp n.nshape
+        base_id n.refs pp_parts parts

@@ -1,0 +1,104 @@
+(** Delayed with-loop intermediate representation.
+
+    Array operations built through {!Wl} and the array library do not
+    execute immediately; they build a graph of {!node}s whose parts
+    carry symbolic element expressions ({!expr}) over the implicit
+    index vector.  Forcing a node runs the optimisation pipeline
+    (folding, factoring — see {!Fusion} and {!Linform}) and then the
+    compiled executor ({!Exec}).  This mirrors sac2c's pipeline, with
+    graph construction playing the role of the SAC frontend. *)
+
+open Mg_ndarray
+
+type expr =
+  | Const of float
+  | Read of source * Ixmap.t
+      (** Element of an array operand at an affine function of the
+          index vector. *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Divf of expr * expr
+  | Sqrt of expr
+  | Absf of expr
+  | Opaque of (Shape.t -> float)
+      (** Escape hatch: an arbitrary OCaml function of the (absolute)
+          index vector.  Executable but opaque to every optimisation. *)
+
+and source = Arr of Ndarray.t | Node of node
+
+and node = private {
+  nid : int;  (** Unique id (diagnostics). *)
+  nshape : Shape.t;
+  spec : spec;
+  barrier : bool;
+      (** Fusion fence: a barrier node is always materialised, never
+          substituted into consumers (used for the periodic-border
+          updates, which the paper's benchmark also materialises). *)
+  mutable refs : int;
+      (** Number of outstanding consumer edges — the fusion
+          profitability signal, decremented as consumers complete
+          (SAC's runtime reference count).  A node whose count reaches
+          zero may have its buffer recycled. *)
+  mutable escaped : bool;
+      (** The cached value was handed to user code via [Wl.force]; it
+          must never be recycled. *)
+  mutable cache : Ndarray.t option;
+}
+
+and spec =
+  | Genarray of { default : float; parts : part list }
+      (** Fresh array: [default] outside all generators. *)
+  | Modarray of { base : source; parts : part list }
+      (** Copy of [base] with the generators overwritten. *)
+
+and part = { gen : Generator.t; body : expr }
+
+val genarray : ?barrier:bool -> ?default:float -> Shape.t -> part list -> node
+(** @raise Invalid_argument if a generator's rank differs from the
+    shape's or exceeds its bounds. *)
+
+val modarray : ?barrier:bool -> source -> part list -> node
+(** @raise Invalid_argument as {!genarray}; the base's shape gives the
+    result shape. *)
+
+val source_shape : source -> Shape.t
+
+val node_of_ndarray : Ndarray.t -> source
+
+val expr_reads : expr -> (source * Ixmap.t) list
+(** All reads in an expression, left to right. *)
+
+val expr_map_reads : (source -> Ixmap.t -> expr) -> expr -> expr
+(** Rebuild an expression, replacing every read. *)
+
+val expr_sources : expr -> source list
+(** Distinct node sources (physical identity). *)
+
+val incr_refs : source -> unit
+(** Record one new consumer edge (no-op for [Arr]).  Called by every
+    constructor that embeds a source in a new node. *)
+
+val set_cache : node -> Ndarray.t -> unit
+(** Memoise the forced value (the executor's job; a node is forced at
+    most once). *)
+
+val clear_cache : node -> unit
+(** Drop the memoised value — used when the executor steals a
+    sole-consumer producer's buffer for an in-place update (SAC's
+    reference-count-driven update-in-place). *)
+
+val decr_refs : source -> unit
+(** Record that one consumer edge has been satisfied. *)
+
+val mark_escaped : node -> unit
+
+val validate_part : Shape.t -> part -> unit
+(** @raise Invalid_argument if the generator escapes the shape. *)
+
+val reset_ids : unit -> unit
+(** Reset the id counter (test determinism only). *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_node : Format.formatter -> node -> unit

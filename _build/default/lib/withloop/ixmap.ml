@@ -1,0 +1,80 @@
+open Mg_ndarray
+
+type t = { scale : Shape.t; offset : Shape.t; div : Shape.t }
+
+let make ?scale ?offset ?div n =
+  let scale = match scale with Some s -> Array.copy s | None -> Shape.replicate n 1 in
+  let offset = match offset with Some o -> Array.copy o | None -> Shape.replicate n 0 in
+  let div = match div with Some d -> Array.copy d | None -> Shape.replicate n 1 in
+  if Shape.rank scale <> n || Shape.rank offset <> n || Shape.rank div <> n then
+    invalid_arg "Ixmap.make: rank mismatch";
+  Array.iter (fun s -> if s < 0 then invalid_arg "Ixmap.make: scale must be >= 0") scale;
+  Array.iter (fun d -> if d < 1 then invalid_arg "Ixmap.make: div must be >= 1") div;
+  { scale; offset; div }
+
+let identity n = make n
+let offset d = make ~offset:d (Shape.rank d)
+let scale n k = make ~scale:(Shape.replicate n k) n
+let divide n k = make ~div:(Shape.replicate n k) n
+
+let rank m = Shape.rank m.scale
+
+let is_identity m =
+  Array.for_all (fun s -> s = 1) m.scale
+  && Array.for_all (fun o -> o = 0) m.offset
+  && Array.for_all (fun d -> d = 1) m.div
+
+let has_division m = Array.exists (fun d -> d > 1) m.div
+
+let is_pure_offset m =
+  Array.for_all (fun s -> s = 1) m.scale && Array.for_all (fun d -> d = 1) m.div
+
+let apply m iv =
+  if Shape.rank iv <> rank m then invalid_arg "Ixmap.apply: rank mismatch";
+  Array.init (rank m) (fun j ->
+      let v = (m.scale.(j) * iv.(j)) + m.offset.(j) in
+      (* Floor division: generator coordinates can make v negative only
+         in ill-formed programs, but keep apply total and consistent. *)
+      let d = m.div.(j) in
+      if v >= 0 then v / d else -(((-v) + d - 1) / d))
+
+let exact_on m (g : Generator.t) =
+  let ok = ref true in
+  for j = 0 to rank m - 1 do
+    let d = m.div.(j) in
+    if d > 1 then begin
+      let s = m.scale.(j) and o = m.offset.(j) in
+      let lb = g.Generator.lb.(j) and step = g.Generator.step.(j) and w = g.Generator.width.(j) in
+      let count = Array.length (Generator.axis_positions g j) in
+      let first_ok = ((s * lb) + o) mod d = 0 in
+      let step_ok = count <= w || s * step mod d = 0 in
+      let width_ok = w = 1 || count <= 1 || s mod d = 0 in
+      if not (first_ok && step_ok && width_ok && count > 0) then ok := false
+    end
+  done;
+  !ok
+
+let compose ~outer ~inner =
+  let n = rank outer in
+  if rank inner <> n then invalid_arg "Ixmap.compose: rank mismatch";
+  { scale = Array.init n (fun j -> outer.scale.(j) * inner.scale.(j));
+    offset =
+      Array.init n (fun j -> (outer.scale.(j) * inner.offset.(j)) + (outer.offset.(j) * inner.div.(j)));
+    div = Array.init n (fun j -> outer.div.(j) * inner.div.(j));
+  }
+
+let image_axis m ~axis ~lo ~hi ~step =
+  let j = axis in
+  let s = m.scale.(j) and o = m.offset.(j) and d = m.div.(j) in
+  if hi <= lo then invalid_arg "Ixmap.image_axis: empty input range";
+  let n = ((hi - 1 - lo) / step) + 1 in
+  let first = ((s * lo) + o) / d in
+  let last = ((s * (lo + ((n - 1) * step))) + o) / d in
+  let istep = s * step / d in
+  (first, last, istep)
+
+let equal a b = Shape.equal a.scale b.scale && Shape.equal a.offset b.offset && Shape.equal a.div b.div
+
+let pp ppf m =
+  if is_identity m then Format.fprintf ppf "iv"
+  else Format.fprintf ppf "(%a*iv + %a)/%a" Shape.pp m.scale Shape.pp m.offset Shape.pp m.div

@@ -1,0 +1,53 @@
+open Mg_ndarray
+
+type read = { arr : Ndarray.t; map : Ixmap.t }
+
+type t = { const : float; terms : (float * read) list }
+
+let scale_lin k l = { const = k *. l.const; terms = List.map (fun (c, r) -> (k *. c, r)) l.terms }
+
+let add_lin a b = { const = a.const +. b.const; terms = a.terms @ b.terms }
+
+let rec of_expr : Ir.expr -> t option = function
+  | Ir.Const c -> Some { const = c; terms = [] }
+  | Ir.Read (Ir.Arr a, m) -> Some { const = 0.0; terms = [ (1.0, { arr = a; map = m }) ] }
+  | Ir.Read (Ir.Node _, _) -> None
+  | Ir.Neg e -> Option.map (scale_lin (-1.0)) (of_expr e)
+  | Ir.Add (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some la, Some lb -> Some (add_lin la lb)
+      | _ -> None)
+  | Ir.Sub (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some la, Some lb -> Some (add_lin la (scale_lin (-1.0) lb))
+      | _ -> None)
+  | Ir.Mul (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some { const = ca; terms = [] }, Some lb -> Some (scale_lin ca lb)
+      | Some la, Some { const = cb; terms = [] } -> Some (scale_lin cb la)
+      | _ -> None)
+  | Ir.Divf (a, b) -> (
+      match (of_expr a, of_expr b) with
+      | Some la, Some { const = cb; terms = [] } when cb <> 0.0 -> Some (scale_lin (1.0 /. cb) la)
+      | _ -> None)
+  | Ir.Sqrt _ | Ir.Absf _ | Ir.Opaque _ -> None
+
+let factor l =
+  let groups : (float * read list ref) list ref = ref [] in
+  List.iter
+    (fun (c, r) ->
+      if c <> 0.0 then
+        match List.assoc_opt c !groups with
+        | Some cell -> cell := r :: !cell
+        | None -> groups := !groups @ [ (c, ref [ r ]) ])
+    l.terms;
+  List.map (fun (c, cell) -> (c, List.rev !cell)) !groups
+
+let num_terms l = List.length l.terms
+let num_groups gs = List.length gs
+
+let to_expr l =
+  let term (c, r) = Ir.Mul (Ir.Const c, Ir.Read (Ir.Arr r.arr, r.map)) in
+  List.fold_left
+    (fun acc t -> Ir.Add (acc, term t))
+    (Ir.Const l.const) l.terms

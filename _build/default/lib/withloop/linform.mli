@@ -1,0 +1,38 @@
+(** Linear forms: the optimiser's canonical view of stencil bodies.
+
+    After with-loop folding, the body of every MG with-loop part is a
+    {e linear combination of array reads} plus a constant:
+
+    {v const + Σ_k  c_k * src_k[map_k(iv)] v}
+
+    This module extracts that form from an {!Ir.expr} (when it exists)
+    and implements the paper's "four multiplications" optimisation: the
+    27-point stencils of NAS-MG use only 4 distinct coefficients, so
+    grouping reads by coefficient turns 27 multiplications per element
+    into 4 (§5 of the paper).  Extraction happens after producers have
+    been folded or materialised, so every read references a concrete
+    array. *)
+
+open Mg_ndarray
+
+type read = { arr : Ndarray.t; map : Ixmap.t }
+
+type t = { const : float; terms : (float * read) list }
+
+val of_expr : Ir.expr -> t option
+(** [None] when the expression is not linear in its reads (products of
+    reads, [sqrt], [Opaque], …) or still references an unforced node. *)
+
+val factor : t -> (float * read list) list
+(** Group terms by exact coefficient value, preserving first-occurrence
+    order of groups and of reads within a group; terms with coefficient
+    [0.] are dropped.  Reading order inside one element's computation is
+    part of the optimisation's observable floating-point behaviour and
+    is kept deterministic. *)
+
+val num_terms : t -> int
+val num_groups : (float * read list) list -> int
+
+val to_expr : t -> Ir.expr
+(** Rebuild an equivalent expression (left-to-right sum) — used by
+    tests to check extraction round-trips. *)

@@ -1,0 +1,112 @@
+open Mg_ndarray
+
+type t = Ir.source
+
+type opt_level = O0 | O1 | O2 | O3
+
+(* The engine allocates one Bigarray per materialised with-loop.  The
+   default GC accounting for custom blocks schedules a major slice
+   after only ~dozens of such allocations, which makes collection —
+   not computation — dominate small grids.  SAC's runtime ships its
+   own free-list allocator for exactly this reason (§5 of the paper);
+   our analogue is relaxed custom-block ratios, set once when the
+   engine is first used. *)
+let tune_gc =
+  lazy
+    (let g = Gc.get () in
+     Gc.set
+       { g with
+         Gc.custom_major_ratio = 300;
+         custom_minor_ratio = 300;
+         custom_minor_max_size = 1 lsl 16;
+         space_overhead = 200;
+       })
+
+let opt_level = ref O3
+let par_threshold = ref 16384
+let split_threshold = ref 2048
+
+let set_split_threshold n = split_threshold := n
+
+let set_opt_level l = opt_level := l
+let get_opt_level () = !opt_level
+
+let with_opt_level l f =
+  let saved = !opt_level in
+  opt_level := l;
+  match f () with
+  | r ->
+      opt_level := saved;
+      r
+  | exception e ->
+      opt_level := saved;
+      raise e
+
+let set_threads n = Mg_smp.Domain_pool.set_global_size n
+let get_threads () = Mg_smp.Domain_pool.size (Mg_smp.Domain_pool.get_global ())
+let set_par_threshold n = par_threshold := n
+
+let settings () : Exec.settings =
+  let t = !split_threshold in
+  let fusion, factor =
+    match !opt_level with
+    | O0 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false)
+    | O1 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true)
+    | O2 -> ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true)
+    | O3 -> ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true)
+  in
+  { Exec.fusion;
+    factor;
+    pool = Mg_smp.Domain_pool.get_global;
+    par_threshold = !par_threshold;
+  }
+
+let of_ndarray a = Ir.Arr a
+
+let force : t -> Ndarray.t = function
+  | Ir.Arr a -> a
+  | Ir.Node n ->
+      Lazy.force tune_gc;
+      Ir.mark_escaped n;
+      Exec.force (settings ()) n
+
+let shape = Ir.source_shape
+let rank s = Shape.rank (shape s)
+let dim = rank
+
+let sel s iv = Ndarray.get (force s) iv
+
+module Expr = struct
+  type e = Ir.expr
+
+  let const c = Ir.Const c
+  let read s = Ir.Read (s, Ixmap.identity (rank s))
+  let read_at s m = Ir.Read (s, m)
+  let read_offset s d = Ir.Read (s, Ixmap.offset d)
+  let of_fun f = Ir.Opaque f
+  let neg e = Ir.Neg e
+  let sqrt e = Ir.Sqrt e
+  let abs e = Ir.Absf e
+  let ( + ) a b = Ir.Add (a, b)
+  let ( - ) a b = Ir.Sub (a, b)
+  let ( * ) a b = Ir.Mul (a, b)
+  let ( / ) a b = Ir.Divf (a, b)
+end
+
+let to_parts parts = List.map (fun (gen, body) -> { Ir.gen; body }) parts
+
+let genarray ?barrier ?default shp parts : t =
+  Ir.Node (Ir.genarray ?barrier ?default shp (to_parts parts))
+
+let modarray ?barrier base parts : t = Ir.Node (Ir.modarray ?barrier base (to_parts parts))
+
+let fold ~op ~neutral gen body = Exec.eval_fold (settings ()) ~op ~neutral gen body
+
+let opt_level_of_string = function
+  | "O0" | "o0" | "0" -> Some O0
+  | "O1" | "o1" | "1" -> Some O1
+  | "O2" | "o2" | "2" -> Some O2
+  | "O3" | "o3" | "3" -> Some O3
+  | _ -> None
+
+let opt_level_to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"

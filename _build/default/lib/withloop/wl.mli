@@ -1,0 +1,95 @@
+(** The user-facing WITH-loop DSL (the "SAC language" of this repo).
+
+    Values of type {!t} are delayed arrays: building one records a
+    with-loop in the IR graph, and {!force} runs the compiler pipeline
+    ({!Fusion} folding, {!Linform} factoring, {!Exec} code generation,
+    implicit parallelisation over the global domain pool).  The three
+    SAC with-loop operators of Fig. 1 of the paper map to {!genarray},
+    {!modarray} and {!fold}.
+
+    Global knobs mirror sac2c command-line options: the optimisation
+    level, the number of execution threads, and the minimum with-loop
+    size for parallel execution. *)
+
+open Mg_ndarray
+
+type t
+(** A (possibly delayed) array value. *)
+
+val of_ndarray : Ndarray.t -> t
+val force : t -> Ndarray.t
+(** Materialise.  Idempotent and cached; the returned array must be
+    treated as immutable (it may be shared with the cache and with
+    other consumers). *)
+
+val shape : t -> Shape.t
+val rank : t -> int
+val dim : t -> int  (** SAC's [dim(array)]. *)
+val sel : t -> Shape.t -> float
+(** SAC's [array[iv]] on a forced value (forces the argument). *)
+
+(** Element expressions for with-loop bodies.  The implicit argument of
+    every expression is the index vector of the enclosing generator. *)
+module Expr : sig
+  type e = Ir.expr
+
+  val const : float -> e
+  val read : t -> e  (** The producer element at the consumer's index. *)
+  val read_at : t -> Ixmap.t -> e
+  val read_offset : t -> Shape.t -> e  (** Producer element at [iv + d]. *)
+  val of_fun : (Shape.t -> float) -> e
+  (** Arbitrary OCaml function of the index — opaque to optimisation. *)
+
+  val neg : e -> e
+  val sqrt : e -> e
+  val abs : e -> e
+  val ( + ) : e -> e -> e
+  val ( - ) : e -> e -> e
+  val ( * ) : e -> e -> e
+  val ( / ) : e -> e -> e
+end
+
+val genarray : ?barrier:bool -> ?default:float -> Shape.t -> (Generator.t * Expr.e) list -> t
+(** [genarray shp parts]: fresh array of shape [shp]; each generator's
+    indices get its body's value, everything else [default] (0). *)
+
+val modarray : ?barrier:bool -> t -> (Generator.t * Expr.e) list -> t
+(** [modarray a parts]: like [a] with the generators overwritten.
+    Set [barrier] to forbid folding this node into consumers (used for
+    the periodic-border updates). *)
+
+val fold : op:Exec.fold_op -> neutral:float -> Generator.t -> Expr.e -> float
+(** Eager reduction over a generator (the fold with-loop).  The
+    operator must be associative and commutative, as in SAC — the
+    engine may regroup partitions. *)
+
+(** {1 Compiler configuration} *)
+
+type opt_level =
+  | O0  (** Materialise everything; one multiplication per stencil term. *)
+  | O1  (** + coefficient factoring (27 mults → 4 for NAS-MG stencils). *)
+  | O2  (** + with-loop folding (producer substitution, range splits). *)
+  | O3  (** + residue-class generator splitting for strided producers. *)
+
+val set_opt_level : opt_level -> unit
+val get_opt_level : unit -> opt_level
+val with_opt_level : opt_level -> (unit -> 'a) -> 'a
+
+val set_threads : int -> unit
+(** Size of the global domain pool used by forced with-loops. *)
+
+val get_threads : unit -> int
+
+val set_par_threshold : int -> unit
+(** Minimum part cardinality for parallel execution (default 16384). *)
+
+val set_split_threshold : int -> unit
+(** Minimum part cardinality for generator splitting during folding
+    (default 2048); smaller consumers materialise their producers.
+    Tests of the splitting machinery set this to 0. *)
+
+val settings : unit -> Exec.settings
+(** The executor settings corresponding to the current globals. *)
+
+val opt_level_of_string : string -> opt_level option
+val opt_level_to_string : opt_level -> string

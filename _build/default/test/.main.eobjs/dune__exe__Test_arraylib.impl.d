@@ -1,0 +1,1 @@
+test/test_arraylib.ml: Alcotest Array Float Gen List Mg_arraylib Mg_ndarray Mg_withloop Ndarray Ops QCheck QCheck_alcotest Select Shape Wl

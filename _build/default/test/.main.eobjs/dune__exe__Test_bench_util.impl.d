@@ -1,0 +1,1 @@
+test/test_bench_util.ml: Alcotest Bench_util Buffer Filename Format List Mg_bench_util String Sys

@@ -1,0 +1,1 @@
+test/test_border.ml: Alcotest Array Border Generator List Mg_arraylib Mg_ndarray Mg_withloop Ndarray Shape Wl

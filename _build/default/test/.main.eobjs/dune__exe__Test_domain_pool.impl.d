@@ -1,0 +1,1 @@
+test/test_domain_pool.ml: Alcotest Array Atomic List Mg_smp

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Classes Driver Float List Mg_core Mg_smp Mg_withloop Printf Wl

@@ -1,0 +1,1 @@
+test/test_exec_oracle.ml: Alcotest Array Generator Ixmap List Mg_arraylib Mg_nasrand Mg_ndarray Mg_withloop Ndarray Printf QCheck QCheck_alcotest Shape String Wl

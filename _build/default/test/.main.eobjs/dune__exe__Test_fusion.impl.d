@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Array Border Generator List Mg_arraylib Mg_ndarray Mg_smp Mg_withloop Ndarray Ops Printf QCheck QCheck_alcotest Select Shape String Wl

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Generator List Mg_ndarray Mg_withloop Option Printf QCheck QCheck_alcotest Shape

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Fusion Generator Ir Ixmap List Mg_ndarray Mg_withloop Ndarray Wl

@@ -1,0 +1,1 @@
+test/test_ixmap.ml: Alcotest Generator Ixmap List Mg_ndarray Mg_withloop Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linform.ml: Alcotest Array Generator Linform List Mg_ndarray Mg_withloop Ndarray Wl

@@ -1,0 +1,1 @@
+test/test_mg.ml: Alcotest Array Classes Driver Float Format List Mg_arraylib Mg_c Mg_core Mg_f77 Mg_nasrand Mg_ndarray Mg_sac Mg_withloop Ndarray Printf Schedule Shape Stencil Verify Zran3

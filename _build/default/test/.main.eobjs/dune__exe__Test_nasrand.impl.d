@@ -1,0 +1,1 @@
+test/test_nasrand.ml: Alcotest Array Float List Mg_nasrand Printf

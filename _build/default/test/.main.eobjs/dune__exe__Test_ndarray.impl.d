@@ -1,0 +1,1 @@
+test/test_ndarray.ml: Alcotest Array Mg_ndarray Ndarray

@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest Array Classes Driver Float Format Generator List Mg_core Mg_nasrand Mg_ndarray Mg_periodic Mg_sac Mg_withloop Ndarray Printf Stencil Verify Wl Zran3

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Classes Float List Mg_c Mg_core Mg_f77 Mg_nasrand Mg_ndarray Ndarray Printf Schedule Stencil

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Array Gen List Mg_ndarray QCheck QCheck_alcotest Shape

@@ -1,0 +1,1 @@
+test/test_smp_sim.ml: Alcotest Array List Mg_smp

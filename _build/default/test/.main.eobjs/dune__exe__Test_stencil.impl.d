@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Array Generator List Mg_core Mg_ndarray Mg_withloop Ndarray Printf Stencil Wl

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Classes Float List Mg_core Mg_ndarray Option Verify

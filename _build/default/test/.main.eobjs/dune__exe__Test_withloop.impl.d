@@ -1,0 +1,1 @@
+test/test_withloop.ml: Alcotest Array Exec Float Generator List Mg_ndarray Mg_withloop Ndarray Shape Wl

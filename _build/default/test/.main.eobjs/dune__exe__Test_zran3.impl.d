@@ -1,0 +1,1 @@
+test/test_zran3.ml: Alcotest List Mg_core Mg_nasrand Mg_ndarray Ndarray Printf Zran3

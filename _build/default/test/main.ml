@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "sac_mg"
+    [ Test_shape.suite;
+      Test_ndarray.suite;
+      Test_nasrand.suite;
+      Test_generator.suite;
+      Test_ixmap.suite;
+      Test_withloop.suite;
+      Test_fusion.suite;
+      Test_exec_oracle.suite;
+      Test_arraylib.suite;
+      Test_border.suite;
+      Test_domain_pool.suite;
+      Test_stencil.suite;
+      Test_zran3.suite;
+      Test_verify.suite;
+      Test_mg.suite;
+      Test_periodic.suite;
+      Test_linform.suite;
+      Test_ir.suite;
+      Test_driver.suite;
+      Test_schedule.suite;
+      Test_smp_sim.suite;
+      Test_bench_util.suite;
+    ]

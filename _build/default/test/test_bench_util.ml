@@ -1,0 +1,76 @@
+open Mg_bench_util
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_stats () =
+  let s = Bench_util.Stats.of_samples [ 3.0; 1.0; 2.0; 4.0 ] in
+  check_float "min" 1.0 s.Bench_util.Stats.min;
+  check_float "max" 4.0 s.Bench_util.Stats.max;
+  check_float "mean" 2.5 s.Bench_util.Stats.mean;
+  check_float "median" 2.5 s.Bench_util.Stats.median;
+  Alcotest.(check int) "n" 4 s.Bench_util.Stats.n;
+  let s1 = Bench_util.Stats.of_samples [ 5.0 ] in
+  check_float "single median" 5.0 s1.Bench_util.Stats.median;
+  check_float "single stddev" 0.0 s1.Bench_util.Stats.stddev
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.of_samples: empty") (fun () ->
+      ignore (Bench_util.Stats.of_samples []))
+
+let test_timing_repeat () =
+  let count = ref 0 in
+  let samples, result =
+    Bench_util.Timing.repeat ~warmup:2 ~times:5 (fun () ->
+        incr count;
+        !count)
+  in
+  Alcotest.(check int) "runs" 7 !count;
+  Alcotest.(check int) "samples" 5 (List.length samples);
+  Alcotest.(check int) "last result" 7 result;
+  List.iter (fun t -> Alcotest.(check bool) "non-negative" true (t >= 0.0)) samples
+
+let test_best_of () =
+  let t, _ = Bench_util.Timing.best_of ~times:3 (fun () -> ()) in
+  Alcotest.(check bool) "non-negative" true (t >= 0.0)
+
+let test_table_render () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Bench_util.Table.render ppf ~header:[ "name"; "value" ]
+    ~align:[ Bench_util.Table.L; Bench_util.Table.R ]
+    [ [ "alpha"; "1" ]; [ "b"; "22" ] ];
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has header" true (contains "name");
+  Alcotest.(check bool) "has rule" true (contains "----");
+  Alcotest.(check bool) "has row" true (contains "alpha")
+
+let test_csv () =
+  let path = Filename.temp_file "bench" ".csv" in
+  let oc = open_out path in
+  Bench_util.Table.render_csv oc ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  Alcotest.(check (list string)) "csv lines" [ "a,b"; "1,2"; "3,4" ] (List.rev !lines)
+
+let suite =
+  ( "bench_util",
+    [ Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "stats empty" `Quick test_stats_empty;
+      Alcotest.test_case "timing repeat" `Quick test_timing_repeat;
+      Alcotest.test_case "best_of" `Quick test_best_of;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "csv" `Quick test_csv;
+    ] )

@@ -1,0 +1,96 @@
+module Domain_pool = Mg_smp.Domain_pool
+module Trace = Mg_smp.Trace
+
+let test_sequential_pool () =
+  let hits = Array.make 10 0 in
+  Domain_pool.parallel_for Domain_pool.sequential ~lo:0 ~hi:10 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check (array int)) "each exactly once" (Array.make 10 1) hits
+
+let test_parallel_covers_range () =
+  let pool = Domain_pool.create 3 in
+  let hits = Array.make 1000 0 in
+  Domain_pool.parallel_for pool ~lo:0 ~hi:1000 (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Domain_pool.shutdown pool;
+  Alcotest.(check (array int)) "each exactly once" (Array.make 1000 1) hits
+
+let test_reuse_across_calls () =
+  let pool = Domain_pool.create 2 in
+  let total = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Domain_pool.parallel_for pool ~lo:0 ~hi:100 (fun lo hi ->
+        ignore (Atomic.fetch_and_add total (hi - lo)))
+  done;
+  Domain_pool.shutdown pool;
+  Alcotest.(check int) "all iterations" 5000 (Atomic.get total)
+
+let test_empty_range () =
+  let pool = Domain_pool.create 2 in
+  let ran = ref false in
+  Domain_pool.parallel_for pool ~lo:5 ~hi:5 (fun _ _ -> ran := true);
+  Domain_pool.shutdown pool;
+  Alcotest.(check bool) "no work" false !ran
+
+let test_exception_propagates () =
+  let pool = Domain_pool.create 2 in
+  let raised =
+    try
+      Domain_pool.parallel_for pool ~lo:0 ~hi:8 (fun lo _ -> if lo = 0 then failwith "boom");
+      false
+    with Failure _ -> true
+  in
+  (* The pool survives an exception. *)
+  let ok = ref 0 in
+  Domain_pool.parallel_for pool ~lo:0 ~hi:4 (fun lo hi -> ok := !ok + (hi - lo));
+  Domain_pool.shutdown pool;
+  Alcotest.(check bool) "exception seen" true raised
+
+let test_create_validation () =
+  Alcotest.check_raises "zero size" (Invalid_argument "Domain_pool.create: size must be >= 1")
+    (fun () -> ignore (Domain_pool.create 0))
+
+let test_trace_collector () =
+  let ev tag = { Trace.tag; elements = 1; seq_seconds = 0.1; bytes_alloc = 8; parallel = true; level_extent = 4 } in
+  let events, result =
+    Trace.with_collector (fun () ->
+        Trace.emit (ev "a");
+        Trace.emit (ev "b");
+        42)
+  in
+  Alcotest.(check int) "result" 42 result;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.map (fun e -> e.Trace.tag) events);
+  Alcotest.(check bool) "disabled outside" false (Trace.enabled ())
+
+let test_trace_nesting () =
+  let ev tag = { Trace.tag; elements = 0; seq_seconds = 0.0; bytes_alloc = 0; parallel = false; level_extent = 0 } in
+  let outer, () =
+    Trace.with_collector (fun () ->
+        Trace.emit (ev "outer1");
+        let inner, () = Trace.with_collector (fun () -> Trace.emit (ev "inner")) in
+        Alcotest.(check int) "inner count" 1 (List.length inner);
+        Trace.emit (ev "outer2"))
+  in
+  Alcotest.(check (list string)) "outer events" [ "outer1"; "outer2" ]
+    (List.map (fun e -> e.Trace.tag) outer)
+
+let test_trace_total () =
+  let ev s = { Trace.tag = "x"; elements = 0; seq_seconds = s; bytes_alloc = 0; parallel = false; level_extent = 0 } in
+  Alcotest.(check (float 1e-12)) "total" 0.6 (Trace.total_seconds [ ev 0.1; ev 0.2; ev 0.3 ])
+
+let suite =
+  ( "smp",
+    [ Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
+      Alcotest.test_case "parallel covers range" `Quick test_parallel_covers_range;
+      Alcotest.test_case "pool reuse" `Quick test_reuse_across_calls;
+      Alcotest.test_case "empty range" `Quick test_empty_range;
+      Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "trace collector" `Quick test_trace_collector;
+      Alcotest.test_case "trace nesting" `Quick test_trace_nesting;
+      Alcotest.test_case "trace totals" `Quick test_trace_total;
+    ] )

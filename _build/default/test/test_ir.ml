@@ -1,0 +1,112 @@
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+
+let check_int = Alcotest.(check int)
+
+let node_of (t : Wl.t) =
+  (* Wl.t is abstract; go through Ir by rebuilding equivalent nodes. *)
+  t
+
+let test_refcounting_edges () =
+  let shp = [| 4 |] in
+  let a = Ir.genarray shp [ { Ir.gen = Generator.full shp; body = Ir.Const 1.0 } ] in
+  check_int "fresh node unreferenced" 0 a.Ir.refs;
+  (* One consumer reading it twice in one part: deduplicated edge. *)
+  let body =
+    Ir.Add (Ir.Read (Ir.Node a, Ixmap.identity 1), Ir.Read (Ir.Node a, Ixmap.offset [| 0 |]))
+  in
+  let _b = Ir.genarray shp [ { Ir.gen = Generator.full shp; body } ] in
+  check_int "one edge per consumer part" 1 a.Ir.refs;
+  (* A second consumer adds another edge. *)
+  let _c = Ir.genarray shp [ { Ir.gen = Generator.full shp; body = Ir.Read (Ir.Node a, Ixmap.identity 1) } ] in
+  check_int "two consumers" 2 a.Ir.refs;
+  Ir.decr_refs (Ir.Node a);
+  check_int "decremented" 1 a.Ir.refs
+
+let test_modarray_base_edge () =
+  let shp = [| 4 |] in
+  let a = Ir.genarray shp [ { Ir.gen = Generator.full shp; body = Ir.Const 2.0 } ] in
+  let _m = Ir.modarray (Ir.Node a) [] in
+  check_int "base edge" 1 a.Ir.refs
+
+let test_generator_validation () =
+  let shp = [| 4 |] in
+  Alcotest.(check bool) "escaping generator rejected" true
+    (try
+       ignore
+         (Ir.genarray shp
+            [ { Ir.gen = Generator.make ~lb:[| 0 |] ~ub:[| 5 |] (); body = Ir.Const 0.0 } ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rank mismatch rejected" true
+    (try
+       ignore
+         (Ir.genarray shp
+            [ { Ir.gen = Generator.full [| 2; 2 |]; body = Ir.Const 0.0 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_expr_reads_order () =
+  let a = Ndarray.create [| 3 |] and b = Ndarray.create [| 3 |] in
+  let e =
+    Ir.Sub
+      ( Ir.Read (Ir.Arr a, Ixmap.identity 1),
+        Ir.Mul (Ir.Const 2.0, Ir.Read (Ir.Arr b, Ixmap.identity 1)) )
+  in
+  let reads = Ir.expr_reads e in
+  check_int "two reads" 2 (List.length reads);
+  (match reads with
+  | [ (Ir.Arr x, _); (Ir.Arr y, _) ] ->
+      Alcotest.(check bool) "left to right" true (x == a && y == b)
+  | _ -> Alcotest.fail "expected two array reads");
+  check_int "sources deduplicated" 2 (List.length (Ir.expr_sources e));
+  let e2 = Ir.Add (e, Ir.Read (Ir.Arr a, Ixmap.offset [| 1 |])) in
+  check_int "dedup across repeats" 2 (List.length (Ir.expr_sources e2))
+
+let test_expr_map_reads () =
+  let a = Ndarray.fill_value [| 3 |] 5.0 in
+  let e = Ir.Add (Ir.Read (Ir.Arr a, Ixmap.identity 1), Ir.Const 1.0) in
+  let e' = Ir.expr_map_reads (fun _ _ -> Ir.Const 9.0) e in
+  match e' with
+  | Ir.Add (Ir.Const 9.0, Ir.Const 1.0) -> ()
+  | _ -> Alcotest.fail "read replaced"
+
+let test_subst_index_on_opaque () =
+  (* Fusion.subst_index must remap opaque bodies through the map. *)
+  let f iv = float_of_int iv.(0) in
+  let e = Fusion.subst_index (Ixmap.offset [| 10 |]) (Ir.Opaque f) in
+  match e with
+  | Ir.Opaque g -> Alcotest.(check (float 0.0)) "shifted" 15.0 (g [| 5 |])
+  | _ -> Alcotest.fail "still opaque"
+
+let test_escaped_flag () =
+  let shp = [| 4 |] in
+  let n = Ir.genarray shp [ { Ir.gen = Generator.full shp; body = Ir.Const 1.0 } ] in
+  Alcotest.(check bool) "fresh not escaped" false n.Ir.escaped;
+  Ir.mark_escaped n;
+  Alcotest.(check bool) "marked" true n.Ir.escaped
+
+let test_cache_set_clear () =
+  let shp = [| 4 |] in
+  let n = Ir.genarray shp [ { Ir.gen = Generator.full shp; body = Ir.Const 1.0 } ] in
+  Alcotest.(check bool) "no cache" true (n.Ir.cache = None);
+  let a = Ndarray.create shp in
+  Ir.set_cache n a;
+  Alcotest.(check bool) "cached" true (match n.Ir.cache with Some x -> x == a | None -> false);
+  Ir.clear_cache n;
+  Alcotest.(check bool) "cleared" true (n.Ir.cache = None)
+
+let _ = node_of
+
+let suite =
+  ( "ir",
+    [ Alcotest.test_case "refcounting edges" `Quick test_refcounting_edges;
+      Alcotest.test_case "modarray base edge" `Quick test_modarray_base_edge;
+      Alcotest.test_case "generator validation" `Quick test_generator_validation;
+      Alcotest.test_case "expr_reads order and dedup" `Quick test_expr_reads_order;
+      Alcotest.test_case "expr_map_reads" `Quick test_expr_map_reads;
+      Alcotest.test_case "subst_index remaps opaque" `Quick test_subst_index_on_opaque;
+      Alcotest.test_case "escaped flag" `Quick test_escaped_flag;
+      Alcotest.test_case "cache set/clear" `Quick test_cache_set_clear;
+    ] )

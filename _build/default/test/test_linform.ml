@@ -1,0 +1,108 @@
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+
+let arr shp = Ndarray.fill_value shp 1.0
+let read a = E.read (Wl.of_ndarray a)
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-12))
+
+let terms_of e = match Linform.of_expr e with Some l -> l.Linform.terms | None -> []
+
+let test_const () =
+  match Linform.of_expr (E.const 3.5) with
+  | Some l ->
+      check_float "const" 3.5 l.Linform.const;
+      check_int "no terms" 0 (Linform.num_terms l)
+  | None -> Alcotest.fail "const is linear"
+
+let test_single_read () =
+  let a = arr [| 4 |] in
+  match Linform.of_expr (read a) with
+  | Some l -> (
+      check_float "const" 0.0 l.Linform.const;
+      match l.Linform.terms with
+      | [ (c, r) ] ->
+          check_float "unit coeff" 1.0 c;
+          Alcotest.(check bool) "same array" true (r.Linform.arr == a)
+      | _ -> Alcotest.fail "one term")
+  | None -> Alcotest.fail "read is linear"
+
+let test_affine_combination () =
+  let a = arr [| 4 |] and b = arr [| 4 |] in
+  let e = E.((const 2.0 * read (Wl.of_ndarray a)) - (read (Wl.of_ndarray b) / const 4.0) + const 1.0) in
+  match Linform.of_expr e with
+  | Some l ->
+      check_float "const" 1.0 l.Linform.const;
+      check_int "two terms" 2 (Linform.num_terms l);
+      let coeffs = List.map fst l.Linform.terms in
+      Alcotest.(check (list (float 1e-12))) "coeffs" [ 2.0; -0.25 ] coeffs
+  | None -> Alcotest.fail "affine is linear"
+
+let test_neg_distributes () =
+  let a = arr [| 4 |] in
+  let e = E.(neg (const 3.0 * read (Wl.of_ndarray a))) in
+  match terms_of e with
+  | [ (c, _) ] -> check_float "negated" (-3.0) c
+  | _ -> Alcotest.fail "one term"
+
+let test_nonlinear_rejected () =
+  let a = arr [| 4 |] in
+  let wa = Wl.of_ndarray a in
+  let r = E.read wa in
+  Alcotest.(check bool) "product of reads" true (Linform.of_expr E.(r * r) = None);
+  Alcotest.(check bool) "sqrt" true (Linform.of_expr (E.sqrt r) = None);
+  Alcotest.(check bool) "abs" true (Linform.of_expr (E.abs r) = None);
+  Alcotest.(check bool) "opaque" true (Linform.of_expr (E.of_fun (fun _ -> 0.0)) = None);
+  Alcotest.(check bool) "divide by read" true (Linform.of_expr E.(const 1.0 / r) = None)
+
+let test_node_read_rejected () =
+  (* Unforced producers must not reach linearisation. *)
+  let shp = [| 4 |] in
+  let n = Wl.genarray shp [ (Generator.full shp, E.const 1.0) ] in
+  Alcotest.(check bool) "node read" true (Linform.of_expr (E.read n) = None)
+
+let test_factor_groups_and_drops_zero () =
+  let a = arr [| 8 |] in
+  let wa = Wl.of_ndarray a in
+  let e =
+    E.(
+      (const 0.5 * read_offset wa [| -1 |])
+      + (const 0.25 * read_offset wa [| 0 |])
+      + (const 0.5 * read_offset wa [| 1 |])
+      + (const 0.0 * read_offset wa [| 2 |]))
+  in
+  match Linform.of_expr e with
+  | None -> Alcotest.fail "linear"
+  | Some l ->
+      let groups = Linform.factor l in
+      check_int "two groups" 2 (Linform.num_groups groups);
+      let sizes = List.map (fun (_, rs) -> List.length rs) groups in
+      Alcotest.(check (list int)) "group sizes in order" [ 2; 1 ] sizes;
+      Alcotest.(check (list (float 1e-12))) "group coeffs" [ 0.5; 0.25 ] (List.map fst groups)
+
+let test_to_expr_roundtrip () =
+  let a = Ndarray.init [| 6 |] (fun iv -> float_of_int iv.(0) +. 0.5) in
+  let wa = Wl.of_ndarray a in
+  let e = E.((const 2.0 * read wa) + const 1.0 - (const 0.5 * read_offset wa [| 1 |])) in
+  match Linform.of_expr e with
+  | None -> Alcotest.fail "linear"
+  | Some l ->
+      let e' = Linform.to_expr l in
+      let shp = [| 5 |] in
+      let r1 = Wl.force (Wl.genarray shp [ (Generator.full shp, e) ]) in
+      let r2 = Wl.force (Wl.genarray shp [ (Generator.full shp, e') ]) in
+      Alcotest.(check bool) "same values" true (Ndarray.max_abs_diff r1 r2 < 1e-12)
+
+let suite =
+  ( "linform",
+    [ Alcotest.test_case "const" `Quick test_const;
+      Alcotest.test_case "single read" `Quick test_single_read;
+      Alcotest.test_case "affine combination" `Quick test_affine_combination;
+      Alcotest.test_case "neg distributes" `Quick test_neg_distributes;
+      Alcotest.test_case "nonlinear rejected" `Quick test_nonlinear_rejected;
+      Alcotest.test_case "node read rejected" `Quick test_node_read_rejected;
+      Alcotest.test_case "factor groups, drops zeros" `Quick test_factor_groups_and_drops_zero;
+      Alcotest.test_case "to_expr roundtrip" `Quick test_to_expr_roundtrip;
+    ] )

@@ -1,0 +1,96 @@
+module Nasrand = Mg_nasrand.Nasrand
+
+let check_float = Alcotest.(check (float 0.0))
+
+(* Reference values computed from the published NPB randdp algorithm:
+   the generator is exactly x <- 5^13 * x mod 2^46 from seed 314159265,
+   so the raw integer states are checkable against integer arithmetic
+   done in OCaml's 63-bit ints. *)
+
+let step_int x =
+  (* 5^13 * x mod 2^46 in exact integer arithmetic, splitting both
+     operands into 23-bit halves to stay below 2^62. *)
+  let mask23 = (1 lsl 23) - 1 in
+  let a = 1220703125 in
+  let a1 = a lsr 23 and a2 = a land mask23 in
+  let x1 = x lsr 23 and x2 = x land mask23 in
+  let z = ((a1 * x2) + (a2 * x1)) land mask23 in
+  ((z lsl 23) + (a2 * x2)) land ((1 lsl 46) - 1)
+
+let test_matches_integer_model () =
+  let st = Nasrand.make () in
+  let x = ref 314159265 in
+  for i = 1 to 1000 do
+    let r = Nasrand.next st in
+    x := step_int !x;
+    let expected = float_of_int !x /. (2.0 ** 46.0) in
+    Alcotest.(check (float 1e-18)) (Printf.sprintf "step %d" i) expected r
+  done
+
+let test_state_is_integral () =
+  let st = Nasrand.make () in
+  for _ = 1 to 100 do
+    ignore (Nasrand.next st);
+    let x = Nasrand.seed_of st in
+    check_float "integral state" (Float.round x) x;
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 2.0 ** 46.0)
+  done
+
+let test_range () =
+  let st = Nasrand.make () in
+  for _ = 1 to 1000 do
+    let r = Nasrand.next st in
+    Alcotest.(check bool) "in (0,1)" true (r > 0.0 && r < 1.0)
+  done
+
+let test_vranlc_matches_randlc () =
+  let a = Nasrand.default_multiplier in
+  let st1 = Nasrand.make () and st2 = Nasrand.make () in
+  let xs = Array.make 50 0.0 in
+  Nasrand.vranlc st2 ~a ~n:50 ~f:(fun i v -> xs.(i) <- v);
+  for i = 0 to 49 do
+    check_float (Printf.sprintf "element %d" i) (Nasrand.randlc st1 ~a) xs.(i)
+  done;
+  check_float "same final state" (Nasrand.seed_of st1) (Nasrand.seed_of st2)
+
+let test_power_jump_ahead () =
+  List.iter
+    (fun n ->
+      let a = Nasrand.default_multiplier in
+      (* Advance a state n times step by step. *)
+      let st = Nasrand.make () in
+      for _ = 1 to n do
+        ignore (Nasrand.randlc st ~a)
+      done;
+      (* Jump directly using power. *)
+      let st' = Nasrand.make () in
+      ignore (Nasrand.randlc st' ~a:(Nasrand.power ~a ~n));
+      check_float (Printf.sprintf "jump %d" n) (Nasrand.seed_of st) (Nasrand.seed_of st'))
+    [ 1; 2; 3; 7; 64; 1000; 123456 ]
+
+let test_power_zero () =
+  (* a^0 = 1: multiplying by 1 leaves the state unchanged. *)
+  let st = Nasrand.make () in
+  ignore (Nasrand.randlc st ~a:(Nasrand.power ~a:Nasrand.default_multiplier ~n:0));
+  check_float "identity" Nasrand.default_seed (Nasrand.seed_of st)
+
+let test_mean () =
+  let st = Nasrand.make () in
+  let n = 100_000 in
+  let s = ref 0.0 in
+  for _ = 1 to n do
+    s := !s +. Nasrand.next st
+  done;
+  let mean = !s /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let suite =
+  ( "nasrand",
+    [ Alcotest.test_case "matches exact integer model" `Quick test_matches_integer_model;
+      Alcotest.test_case "state stays integral" `Quick test_state_is_integral;
+      Alcotest.test_case "values in (0,1)" `Quick test_range;
+      Alcotest.test_case "vranlc = repeated randlc" `Quick test_vranlc_matches_randlc;
+      Alcotest.test_case "power jumps ahead" `Quick test_power_jump_ahead;
+      Alcotest.test_case "power of zero" `Quick test_power_zero;
+      Alcotest.test_case "sample mean" `Quick test_mean;
+    ] )

@@ -1,0 +1,90 @@
+open Mg_ndarray
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_int = Alcotest.(check int)
+
+let test_create_zeroed () =
+  let a = Ndarray.create [| 2; 3 |] in
+  check_int "size" 6 (Ndarray.size a);
+  for i = 0 to 5 do
+    check_float "zero" 0.0 (Ndarray.get_flat a i)
+  done
+
+let test_fill_value () =
+  let a = Ndarray.fill_value [| 4 |] 2.5 in
+  Alcotest.(check bool) "all 2.5" true (Ndarray.equal a (Ndarray.of_array1 [| 2.5; 2.5; 2.5; 2.5 |]))
+
+let test_init_by_index () =
+  let a = Ndarray.init [| 2; 3 |] (fun iv -> float_of_int ((10 * iv.(0)) + iv.(1))) in
+  check_float "a[1,2]" 12.0 (Ndarray.get a [| 1; 2 |]);
+  check_float "a[0,0]" 0.0 (Ndarray.get a [| 0; 0 |]);
+  check_float "flat order" 2.0 (Ndarray.get_flat a 2)
+
+let test_get_set () =
+  let a = Ndarray.create [| 3; 3 |] in
+  Ndarray.set a [| 1; 1 |] 5.0;
+  check_float "set/get" 5.0 (Ndarray.get a [| 1; 1 |]);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Shape.ravel: index out of bounds (rank 2 shape, rank 2 index)")
+    (fun () -> ignore (Ndarray.get a [| 3; 0 |]))
+
+let test_map_map2 () =
+  let a = Ndarray.of_array1 [| 1.0; 2.0; 3.0 |] in
+  let b = Ndarray.map (fun x -> x *. 2.0) a in
+  check_float "map" 4.0 (Ndarray.get_flat b 1);
+  let c = Ndarray.map2 ( +. ) a b in
+  check_float "map2" 9.0 (Ndarray.get_flat c 2)
+
+let test_shape_mismatch () =
+  let a = Ndarray.create [| 2 |] and b = Ndarray.create [| 3 |] in
+  Alcotest.check_raises "map2 mismatch"
+    (Invalid_argument "Ndarray.map2: shape mismatch ([2] vs [3])") (fun () ->
+      ignore (Ndarray.map2 ( +. ) a b))
+
+let test_fold () =
+  let a = Ndarray.of_array1 [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "sum" 10.0 (Ndarray.fold ( +. ) 0.0 a)
+
+let test_copy_independent () =
+  let a = Ndarray.fill_value [| 2 |] 1.0 in
+  let b = Ndarray.copy a in
+  Ndarray.set_flat b 0 9.0;
+  check_float "original untouched" 1.0 (Ndarray.get_flat a 0)
+
+let test_reshape_shares () =
+  let a = Ndarray.of_array1 [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Ndarray.reshape a [| 2; 2 |] in
+  Ndarray.set b [| 1; 0 |] 7.0;
+  check_float "shared buffer" 7.0 (Ndarray.get_flat a 2)
+
+let test_of_array3 () =
+  let a = Ndarray.of_array3 [| [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]; [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] |] in
+  check_float "corner" 8.0 (Ndarray.get a [| 1; 1; 1 |]);
+  check_float "order" 5.0 (Ndarray.get_flat a 4)
+
+let test_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Ndarray.of_array2: ragged input") (fun () ->
+      ignore (Ndarray.of_array2 [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_diffs () =
+  let a = Ndarray.of_array1 [| 1.0; 2.0 |] and b = Ndarray.of_array1 [| 1.0; 2.5 |] in
+  check_float "max abs diff" 0.5 (Ndarray.max_abs_diff a b);
+  check_float "max rel diff" 0.2 (Ndarray.max_rel_diff a b);
+  Alcotest.(check bool) "equal with eps" true (Ndarray.equal ~eps:0.6 a b);
+  Alcotest.(check bool) "not equal" false (Ndarray.equal a b)
+
+let suite =
+  ( "ndarray",
+    [ Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+      Alcotest.test_case "fill value" `Quick test_fill_value;
+      Alcotest.test_case "init by index" `Quick test_init_by_index;
+      Alcotest.test_case "get/set" `Quick test_get_set;
+      Alcotest.test_case "map/map2" `Quick test_map_map2;
+      Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+      Alcotest.test_case "fold" `Quick test_fold;
+      Alcotest.test_case "copy independent" `Quick test_copy_independent;
+      Alcotest.test_case "reshape shares buffer" `Quick test_reshape_shares;
+      Alcotest.test_case "of_array3" `Quick test_of_array3;
+      Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+      Alcotest.test_case "difference measures" `Quick test_diffs;
+    ] )

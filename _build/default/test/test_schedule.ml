@@ -1,0 +1,106 @@
+open Mg_ndarray
+open Mg_core
+
+let check_int = Alcotest.(check int)
+
+let test_setup_levels () =
+  let st = Schedule.setup Classes.mini in
+  (* mini = 16^3: levels 1..4, extents 4,6,10,18; slot 0 unused. *)
+  check_int "array slots" 5 (Array.length st.Schedule.u);
+  List.iter
+    (fun (k, extent) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "level %d" k)
+        [| extent; extent; extent |]
+        (Ndarray.shape st.Schedule.u.(k)))
+    [ (1, 4); (2, 6); (3, 10); (4, 18) ];
+  Alcotest.(check (array int)) "v at top" [| 18; 18; 18 |] (Ndarray.shape st.Schedule.v)
+
+let test_setup_zeroes_u () =
+  let st = Schedule.setup Classes.tiny in
+  for k = 1 to Classes.levels Classes.tiny do
+    Alcotest.(check (float 0.0)) "u zero" 0.0 (Ndarray.fold (fun a x -> a +. Float.abs x) 0.0 st.Schedule.u.(k))
+  done
+
+let test_resid_in_place_aliasing () =
+  (* mg3P relies on resid with v == r (the reference code's in-place
+     use); both ports must support it. *)
+  let n = 6 in
+  let shp = [| n + 2; n + 2; n + 2 |] in
+  let st = Mg_nasrand.Nasrand.make ~seed:424242.0 () in
+  let u = Ndarray.init shp (fun _ -> Mg_nasrand.Nasrand.next st -. 0.5) in
+  Mg_f77.comm3 u;
+  let v = Ndarray.init shp (fun _ -> Mg_nasrand.Nasrand.next st -. 0.5) in
+  Mg_f77.comm3 v;
+  let a = Stencil.to_array Stencil.a in
+  (* Separate output. *)
+  let r_sep = Ndarray.create shp in
+  Mg_f77.resid ~u ~v ~r:r_sep ~a;
+  (* Aliased output. *)
+  let r_alias = Ndarray.copy v in
+  Mg_f77.resid ~u ~v:r_alias ~r:r_alias ~a;
+  Alcotest.(check bool) "f77 aliasing safe" true (Ndarray.equal r_sep r_alias);
+  let r_alias_c = Ndarray.copy v in
+  Mg_c.resid ~u ~v:r_alias_c ~r:r_alias_c ~a;
+  Alcotest.(check bool) "c aliasing safe" true
+    (Ndarray.max_abs_diff r_sep r_alias_c < 1e-12)
+
+let test_mg3p_reduces_residual () =
+  let st = Schedule.setup Classes.mini in
+  let lt = Classes.levels Classes.mini in
+  let a = Stencil.to_array Stencil.a in
+  Mg_f77.resid ~u:st.Schedule.u.(lt) ~v:st.Schedule.v ~r:st.Schedule.r.(lt) ~a;
+  let r0, _ = Schedule.final_norm st in
+  Schedule.mg3p Mg_f77.routines st;
+  Mg_f77.resid ~u:st.Schedule.u.(lt) ~v:st.Schedule.v ~r:st.Schedule.r.(lt) ~a;
+  let r1, _ = Schedule.final_norm st in
+  Alcotest.(check bool)
+    (Printf.sprintf "one V-cycle reduces the norm (%.3e -> %.3e)" r0 r1)
+    true
+    (r1 < 0.3 *. r0)
+
+let test_iterate_equals_manual_loop () =
+  (* iterate == resid; nit x (mg3p; resid), bitwise. *)
+  let cls = Classes.tiny in
+  let st1 = Schedule.setup cls in
+  Schedule.iterate Mg_f77.routines st1;
+  let st2 = Schedule.setup cls in
+  let lt = Classes.levels cls in
+  let a = Stencil.to_array Stencil.a in
+  Mg_f77.resid ~u:st2.Schedule.u.(lt) ~v:st2.Schedule.v ~r:st2.Schedule.r.(lt) ~a;
+  for _ = 1 to cls.Classes.nit do
+    Schedule.mg3p Mg_f77.routines st2;
+    Mg_f77.resid ~u:st2.Schedule.u.(lt) ~v:st2.Schedule.v ~r:st2.Schedule.r.(lt) ~a
+  done;
+  Alcotest.(check bool) "same residual field" true
+    (Ndarray.equal st1.Schedule.r.(lt) st2.Schedule.r.(lt));
+  Alcotest.(check bool) "same solution field" true
+    (Ndarray.equal st1.Schedule.u.(lt) st2.Schedule.u.(lt))
+
+let test_routines_interchangeable () =
+  (* The schedule is implementation-agnostic: mixing kernels is legal
+     and still converges (f77 smoother + c residual). *)
+  let hybrid =
+    { Schedule.impl_name = "hybrid";
+      resid = Mg_c.resid;
+      psinv = Mg_f77.psinv;
+      rprj3 = Mg_c.rprj3;
+      interp = Mg_f77.interp;
+    }
+  in
+  let rnm2, _ = Schedule.run hybrid Classes.tiny in
+  let rnm2_ref, _ = Schedule.run Mg_f77.routines Classes.tiny in
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid agrees (%.6e vs %.6e)" rnm2 rnm2_ref)
+    true
+    (Float.abs ((rnm2 -. rnm2_ref) /. rnm2_ref) < 1e-9)
+
+let suite =
+  ( "schedule",
+    [ Alcotest.test_case "setup levels" `Quick test_setup_levels;
+      Alcotest.test_case "setup zeroes u" `Quick test_setup_zeroes_u;
+      Alcotest.test_case "resid in-place aliasing" `Quick test_resid_in_place_aliasing;
+      Alcotest.test_case "mg3p reduces residual" `Quick test_mg3p_reduces_residual;
+      Alcotest.test_case "iterate = manual loop" `Quick test_iterate_equals_manual_loop;
+      Alcotest.test_case "kernels interchangeable" `Quick test_routines_interchangeable;
+    ] )

@@ -1,0 +1,84 @@
+open Mg_ndarray
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_rank_and_elements () =
+  check_int "rank" 3 (Shape.rank [| 2; 3; 4 |]);
+  check_int "elements" 24 (Shape.num_elements [| 2; 3; 4 |]);
+  check_int "scalar elements" 1 (Shape.num_elements [||]);
+  check_int "zero extent" 0 (Shape.num_elements [| 2; 0; 4 |])
+
+let test_strides () =
+  Alcotest.(check (array int)) "row major" [| 12; 4; 1 |] (Shape.strides [| 2; 3; 4 |]);
+  Alcotest.(check (array int)) "vector" [| 1 |] (Shape.strides [| 7 |]);
+  Alcotest.(check (array int)) "scalar" [||] (Shape.strides [||])
+
+let test_ravel_unravel () =
+  let shape = [| 3; 4; 5 |] in
+  check_int "origin" 0 (Shape.ravel ~shape [| 0; 0; 0 |]);
+  check_int "last" 59 (Shape.ravel ~shape [| 2; 3; 4 |]);
+  check_int "middle" ((1 * 20) + (2 * 5) + 3) (Shape.ravel ~shape [| 1; 2; 3 |]);
+  for off = 0 to 59 do
+    check_int "roundtrip" off (Shape.ravel ~shape (Shape.unravel ~shape off))
+  done
+
+let test_ravel_bounds () =
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Shape.ravel: index out of bounds (rank 2 shape, rank 2 index)")
+    (fun () -> ignore (Shape.ravel ~shape:[| 2; 2 |] [| 0; 2 |]))
+
+let test_iter_order () =
+  let seen = ref [] in
+  Shape.iter [| 2; 2 |] (fun iv -> seen := Array.copy iv :: !seen);
+  Alcotest.(check (list (array int)))
+    "row-major order"
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+    (List.rev !seen)
+
+let test_iter_counts () =
+  let count shp =
+    let c = ref 0 in
+    Shape.iter shp (fun _ -> incr c);
+    !c
+  in
+  check_int "3d" 24 (count [| 2; 3; 4 |]);
+  check_int "scalar" 1 (count [||]);
+  check_int "empty" 0 (count [| 0; 5 |])
+
+let test_vector_arith () =
+  Alcotest.(check (array int)) "add" [| 3; 5 |] (Shape.add [| 1; 2 |] [| 2; 3 |]);
+  Alcotest.(check (array int)) "sub" [| -1; -1 |] (Shape.sub [| 1; 2 |] [| 2; 3 |]);
+  Alcotest.(check (array int)) "mul" [| 2; 6 |] (Shape.mul [| 1; 2 |] [| 2; 3 |]);
+  Alcotest.(check (array int)) "div" [| 2; 3 |] (Shape.div [| 4; 7 |] [| 2; 2 |]);
+  Alcotest.(check (array int)) "scale" [| 2; 4 |] (Shape.scale 2 [| 1; 2 |]);
+  Alcotest.(check (array int)) "replicate" [| 7; 7; 7 |] (Shape.replicate 3 7);
+  check_bool "within" true (Shape.within ~shape:[| 2; 2 |] [| 1; 1 |]);
+  check_bool "not within" false (Shape.within ~shape:[| 2; 2 |] [| 1; 2 |])
+
+let test_rank_mismatch () =
+  Alcotest.check_raises "add mismatch" (Invalid_argument "Shape.add: rank mismatch (2 vs 3)")
+    (fun () -> ignore (Shape.add [| 1; 2 |] [| 1; 2; 3 |]))
+
+let qcheck_ravel_bijective =
+  QCheck.Test.make ~name:"unravel inverts ravel" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 4) (1 -- 6)) (int_bound 10_000))
+    (fun (dims, seed) ->
+      let shape = Array.of_list dims in
+      let n = Shape.num_elements shape in
+      QCheck.assume (n > 0);
+      let off = seed mod n in
+      Shape.ravel ~shape (Shape.unravel ~shape off) = off)
+
+let suite =
+  ( "shape",
+    [ Alcotest.test_case "rank and elements" `Quick test_rank_and_elements;
+      Alcotest.test_case "strides" `Quick test_strides;
+      Alcotest.test_case "ravel/unravel" `Quick test_ravel_unravel;
+      Alcotest.test_case "ravel bounds" `Quick test_ravel_bounds;
+      Alcotest.test_case "iter order" `Quick test_iter_order;
+      Alcotest.test_case "iter counts" `Quick test_iter_counts;
+      Alcotest.test_case "vector arithmetic" `Quick test_vector_arith;
+      Alcotest.test_case "rank mismatch" `Quick test_rank_mismatch;
+      QCheck_alcotest.to_alcotest qcheck_ravel_bijective;
+    ] )

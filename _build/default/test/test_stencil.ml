@@ -1,0 +1,91 @@
+open Mg_core
+
+let check_float = Alcotest.(check (float 1e-15))
+let check_int = Alcotest.(check int)
+
+let test_benchmark_coefficients () =
+  check_float "a0" (-8.0 /. 3.0) Stencil.a.Stencil.c0;
+  check_float "a1" 0.0 Stencil.a.Stencil.c1;
+  check_float "a2" (1.0 /. 6.0) Stencil.a.Stencil.c2;
+  check_float "a3" (1.0 /. 12.0) Stencil.a.Stencil.c3;
+  check_float "sa0" (-3.0 /. 8.0) Stencil.s_a.Stencil.c0;
+  check_float "sb0" (-3.0 /. 17.0) Stencil.s_b.Stencil.c0;
+  check_float "p0" 0.5 Stencil.p.Stencil.c0;
+  check_float "q0" 1.0 Stencil.q.Stencil.c0
+
+let test_offsets_count_and_classes () =
+  List.iter
+    (fun rank ->
+      let offs = Stencil.offsets rank in
+      check_int (Printf.sprintf "rank %d count" rank)
+        (int_of_float (3.0 ** float_of_int rank))
+        (List.length offs);
+      (* Class = number of non-zero components; count by binomials. *)
+      List.iter
+        (fun cls ->
+          let expected =
+            (* C(rank, cls) * 2^cls *)
+            let rec binom n k = if k = 0 || k = n then 1 else binom (n - 1) (k - 1) + binom (n - 1) k in
+            binom rank cls * (1 lsl cls)
+          in
+          let actual = List.length (List.filter (fun (_, c) -> c = cls) offs) in
+          check_int (Printf.sprintf "rank %d class %d" rank cls) expected actual)
+        (List.init (rank + 1) (fun c -> c)))
+    [ 1; 2; 3 ]
+
+let test_3d_class_counts () =
+  let offs = Stencil.offsets 3 in
+  check_int "centre" 1 (List.length (List.filter (fun (_, c) -> c = 0) offs));
+  check_int "faces" 6 (List.length (List.filter (fun (_, c) -> c = 1) offs));
+  check_int "edges" 12 (List.length (List.filter (fun (_, c) -> c = 2) offs));
+  check_int "corners" 8 (List.length (List.filter (fun (_, c) -> c = 3) offs))
+
+let test_stencil_sums () =
+  (* Applied to a constant field, a stencil yields the coefficient sum
+     scaled by the class cardinalities; for the projection P that sum
+     is 4 (full weighting in 3-D scales the integral by 1/2^{d-1}
+     relative to the 8x coarser cell volume). *)
+  let c = Stencil.p in
+  let expected =
+    c.Stencil.c0 +. (6.0 *. c.Stencil.c1) +. (12.0 *. c.Stencil.c2) +. (8.0 *. c.Stencil.c3)
+  in
+  Alcotest.(check (float 1e-12)) "P weight sum" 4.0 expected;
+  let got = Stencil.apply_offsets (fun _ -> 1.0) c ~rank:3 [| 5; 5; 5 |] in
+  Alcotest.(check (float 1e-12)) "applied" expected got
+
+let test_residual_annihilates_constants () =
+  (* A applied to a constant field: sum of A's coefficients is
+     -8/3 + 12/6 + 8/12 = 0 — the Laplacian kills constants. *)
+  let got = Stencil.apply_offsets (fun _ -> 42.0) Stencil.a ~rank:3 [| 1; 1; 1 |] in
+  Alcotest.(check (float 1e-12)) "zero" 0.0 got
+
+let test_to_array () =
+  Alcotest.(check (array (float 1e-15)))
+    "layout"
+    [| -8.0 /. 3.0; 0.0; 1.0 /. 6.0; 1.0 /. 12.0 |]
+    (Stencil.to_array Stencil.a)
+
+let test_body_matches_reference () =
+  (* The with-loop body evaluated through the engine equals the direct
+     reference evaluator. *)
+  let open Mg_ndarray in
+  let open Mg_withloop in
+  let shp = [| 5; 5; 5 |] in
+  let src = Ndarray.init shp (fun iv -> float_of_int ((iv.(0) * 31) + (iv.(1) * 7) + iv.(2))) in
+  let w = Wl.of_ndarray src in
+  let gen = Generator.interior shp 1 in
+  let out = Wl.force (Wl.modarray w [ (gen, Stencil.body Stencil.s_a w) ]) in
+  Generator.iter gen (fun iv ->
+      let expected = Stencil.apply_offsets (Ndarray.get src) Stencil.s_a ~rank:3 iv in
+      Alcotest.(check (float 1e-10)) "element" expected (Ndarray.get out iv))
+
+let suite =
+  ( "stencil",
+    [ Alcotest.test_case "benchmark coefficients" `Quick test_benchmark_coefficients;
+      Alcotest.test_case "offsets count and classes" `Quick test_offsets_count_and_classes;
+      Alcotest.test_case "3d class counts" `Quick test_3d_class_counts;
+      Alcotest.test_case "P averages" `Quick test_stencil_sums;
+      Alcotest.test_case "A annihilates constants" `Quick test_residual_annihilates_constants;
+      Alcotest.test_case "to_array layout" `Quick test_to_array;
+      Alcotest.test_case "body matches reference" `Quick test_body_matches_reference;
+    ] )

@@ -1,0 +1,89 @@
+open Mg_core
+
+let test_norm2u3 () =
+  (* A 2^3 interior with known values inside an extent-4 cube. *)
+  let n = 2 in
+  let g = Mg_ndarray.Ndarray.create [| 4; 4; 4 |] in
+  (* Fill ghosts with garbage that the norm must ignore. *)
+  Mg_ndarray.Ndarray.fill g 99.0;
+  let idx i3 i2 i1 = ((i3 * 4) + i2) * 4 + i1 in
+  let vals = [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 ] in
+  List.iteri
+    (fun k v ->
+      let i1 = 1 + (k land 1) and i2 = 1 + ((k lsr 1) land 1) and i3 = 1 + (k lsr 2) in
+      Mg_ndarray.Ndarray.set_flat g (idx i3 i2 i1) v)
+    vals;
+  let rnm2, rnmu = Verify.norm2u3 g ~n in
+  let sumsq = List.fold_left (fun acc v -> acc +. (v *. v)) 0.0 vals in
+  Alcotest.(check (float 1e-12)) "rnm2" (Float.sqrt (sumsq /. 8.0)) rnm2;
+  Alcotest.(check (float 1e-12)) "rnmu" 8.0 rnmu
+
+let test_check_verified () =
+  let expected = Option.get Classes.class_s.Classes.verify_value in
+  (match Verify.check Classes.class_s ~rnm2:(expected *. (1.0 +. 1e-9)) with
+  | Verify.Verified err -> Alcotest.(check bool) "tiny error" true (err < 1e-8)
+  | s -> Alcotest.failf "expected Verified, got %a" Verify.pp_status s);
+  match Verify.check Classes.class_s ~rnm2:(expected *. 1.01) with
+  | Verify.Failed _ -> ()
+  | s -> Alcotest.failf "expected Failed, got %a" Verify.pp_status s
+
+let test_check_no_reference () =
+  Alcotest.(check bool) "custom class" true
+    (Verify.check Classes.tiny ~rnm2:1.0 = Verify.No_reference)
+
+let test_at_floor_semantics () =
+  let w = Classes.class_w in
+  let expected = Option.get w.Classes.verify_value in
+  (* Reassociated implementation near the floor: accepted as At_floor. *)
+  (match Verify.check ~exact_order:false w ~rnm2:(expected *. 1.3) with
+  | Verify.At_floor _ -> ()
+  | s -> Alcotest.failf "expected At_floor, got %a" Verify.pp_status s);
+  (* Exact-order implementation must match strictly. *)
+  (match Verify.check ~exact_order:true w ~rnm2:(expected *. 1.3) with
+  | Verify.Failed _ -> ()
+  | s -> Alcotest.failf "expected Failed, got %a" Verify.pp_status s);
+  (* Diverged runs fail even without exact order. *)
+  (match Verify.check ~exact_order:false w ~rnm2:(expected *. 100.0) with
+  | Verify.Failed _ -> ()
+  | s -> Alcotest.failf "expected Failed, got %a" Verify.pp_status s);
+  (* Above the floor threshold the loose path never applies. *)
+  match Verify.check ~exact_order:false Classes.class_s
+          ~rnm2:(Option.get Classes.class_s.Classes.verify_value *. 1.3)
+  with
+  | Verify.Failed _ -> ()
+  | s -> Alcotest.failf "expected Failed, got %a" Verify.pp_status s
+
+let test_status_ok () =
+  Alcotest.(check bool) "verified ok" true (Verify.status_ok (Verify.Verified 0.0));
+  Alcotest.(check bool) "floor ok" true (Verify.status_ok (Verify.At_floor 0.1));
+  Alcotest.(check bool) "no ref ok" true (Verify.status_ok Verify.No_reference);
+  Alcotest.(check bool) "failed not ok" false (Verify.status_ok (Verify.Failed (1.0, 1.0)))
+
+let test_classes_table () =
+  Alcotest.(check int) "levels S" 5 (Classes.levels Classes.class_s);
+  Alcotest.(check int) "levels A" 8 (Classes.levels Classes.class_a);
+  Alcotest.(check int) "extent W" 66 (Classes.extent Classes.class_w);
+  Alcotest.(check bool) "B uses S(b)" true (Classes.class_b.Classes.smoother = Classes.Smoother_b);
+  Alcotest.(check bool) "S uses S(a)" true (Classes.class_s.Classes.smoother = Classes.Smoother_a);
+  Alcotest.(check bool) "lookup" true (Classes.of_string "w128" = Some Classes.class_w128);
+  Alcotest.(check bool) "unknown" true (Classes.of_string "zzz" = None)
+
+let test_custom_class_validation () =
+  Alcotest.(check bool) "rejects non power of two" true
+    (try
+       ignore (Classes.make_custom ~name:"x" ~nx:48 ~nit:4);
+       false
+     with Invalid_argument _ -> true);
+  let c = Classes.make_custom ~name:"x" ~nx:16 ~nit:2 in
+  Alcotest.(check int) "levels" 4 (Classes.levels c)
+
+let suite =
+  ( "verify",
+    [ Alcotest.test_case "norm2u3" `Quick test_norm2u3;
+      Alcotest.test_case "check verified/failed" `Quick test_check_verified;
+      Alcotest.test_case "check no reference" `Quick test_check_no_reference;
+      Alcotest.test_case "at-floor semantics" `Quick test_at_floor_semantics;
+      Alcotest.test_case "status_ok" `Quick test_status_ok;
+      Alcotest.test_case "classes table" `Quick test_classes_table;
+      Alcotest.test_case "custom class validation" `Quick test_custom_class_validation;
+    ] )

@@ -1,0 +1,113 @@
+open Mg_ndarray
+open Mg_core
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 0.0))
+
+let idx m i3 i2 i1 = ((i3 * m) + i2) * m + i1
+
+let test_field_shape_and_range () =
+  let n = 8 in
+  let z = Zran3.random_field ~n in
+  Alcotest.(check (array int)) "shape" [| n + 2; n + 2; n + 2 |] (Ndarray.shape z);
+  let m = n + 2 in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      for i1 = 1 to n do
+        let v = Ndarray.get_flat z (idx m i3 i2 i1) in
+        Alcotest.(check bool) "interior in (0,1)" true (v > 0.0 && v < 1.0)
+      done
+    done
+  done;
+  (* Borders untouched by the raw field. *)
+  check_float "border zero" 0.0 (Ndarray.get z [| 0; 3; 3 |])
+
+let test_field_is_the_raw_stream () =
+  (* The jump-ahead construction must equal one continuous stream laid
+     out i1-fastest over the interior. *)
+  let n = 4 in
+  let z = Zran3.random_field ~n in
+  let st = Mg_nasrand.Nasrand.make () in
+  let m = n + 2 in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      for i1 = 1 to n do
+        check_float
+          (Printf.sprintf "(%d,%d,%d)" i3 i2 i1)
+          (Mg_nasrand.Nasrand.next st)
+          (Ndarray.get_flat z (idx m i3 i2 i1))
+      done
+    done
+  done
+
+let test_extremes () =
+  let n = 6 in
+  let z = Zran3.random_field ~n in
+  let large, small = Zran3.extremes z ~n ~count:10 in
+  check_int "ten largest" 10 (List.length large);
+  check_int "ten smallest" 10 (List.length small);
+  (* Brute-force oracle. *)
+  let all = ref [] in
+  let m = n + 2 in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      for i1 = 1 to n do
+        all := (Ndarray.get_flat z (idx m i3 i2 i1), (i3, i2, i1)) :: !all
+      done
+    done
+  done;
+  let sorted = List.sort compare !all in
+  let smallest10 = List.filteri (fun i _ -> i < 10) sorted in
+  let largest10 = List.filteri (fun i _ -> i >= List.length sorted - 10) sorted in
+  Alcotest.(check (list (triple int int int)))
+    "largest agree" (List.map snd largest10) large;
+  Alcotest.(check (list (triple int int int)))
+    "smallest agree" (List.map snd smallest10) small
+
+let test_generate_charges () =
+  let n = 8 in
+  let v = Zran3.generate ~n in
+  let m = n + 2 in
+  let pos = ref 0 and neg = ref 0 and other = ref 0 in
+  for i3 = 1 to n do
+    for i2 = 1 to n do
+      for i1 = 1 to n do
+        match Ndarray.get_flat v (idx m i3 i2 i1) with
+        | 1.0 -> incr pos
+        | -1.0 -> incr neg
+        | 0.0 -> ()
+        | _ -> incr other
+      done
+    done
+  done;
+  check_int "ten positive" 10 !pos;
+  check_int "ten negative" 10 !neg;
+  check_int "only 0/±1" 0 !other
+
+let test_generate_has_periodic_border () =
+  let n = 8 in
+  let v = Zran3.generate ~n in
+  let m = n + 2 in
+  (* Face, edge and corner ghosts must equal their periodic images. *)
+  for i2 = 0 to m - 1 do
+    for i1 = 0 to m - 1 do
+      check_float "low plane" (Ndarray.get_flat v (idx m n i2 i1)) (Ndarray.get_flat v (idx m 0 i2 i1));
+      check_float "high plane" (Ndarray.get_flat v (idx m 1 i2 i1))
+        (Ndarray.get_flat v (idx m (n + 1) i2 i1))
+    done
+  done;
+  check_float "corner" (Ndarray.get_flat v (idx m n n n)) (Ndarray.get_flat v (idx m 0 0 0))
+
+let test_deterministic () =
+  let a = Zran3.generate ~n:8 and b = Zran3.generate ~n:8 in
+  Alcotest.(check bool) "equal" true (Ndarray.equal a b)
+
+let suite =
+  ( "zran3",
+    [ Alcotest.test_case "field shape and range" `Quick test_field_shape_and_range;
+      Alcotest.test_case "field equals raw stream" `Quick test_field_is_the_raw_stream;
+      Alcotest.test_case "extremes against oracle" `Quick test_extremes;
+      Alcotest.test_case "charges are ten +1 / ten -1" `Quick test_generate_charges;
+      Alcotest.test_case "periodic border" `Quick test_generate_has_periodic_border;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+    ] )
