@@ -1,0 +1,23 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Class-S end-to-end run with NAS verification of the SAC implementation.
+smoke: build
+	dune exec bin/mg_run.exe -- --impl sac --class S
+
+check: build test smoke
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -7,22 +7,32 @@
 
      fig11/*          sequential whole-benchmark runs (class mini)
      fig12_sim/*      trace replay through the three machine models
-     stencil/*        E4: one residual sweep, four implementation styles
+     stencil/*        E4: one residual sweep, five implementation styles
      fusion/*         E6: whole benchmark at O0 vs O3 (class tiny)
-     arraylib/*       the Fig. 10 building blocks                     *)
+     arraylib/*       the Fig. 10 building blocks
+
+   Besides the console table, results land in results/bench.json for
+   regression tracking across commits.                                 *)
 
 open Bechamel
 open Toolkit
 open Mg_ndarray
 open Mg_core
 module Wl = Mg_withloop.Wl
+module Json = Mg_bench_util.Bench_util.Json
+module Env = Mg_bench_util.Bench_util.Env
 
 let mini = Classes.mini
 let tiny = Classes.tiny
 
+(* Groups are thunks: each is built when its turn comes, not at module
+   initialisation — building the fig12 traces runs the whole benchmark
+   three times, which must not be paid before the first group has even
+   started (or at all, if the process dies earlier). *)
+
 (* --- fig11: sequential whole-benchmark runs ------------------------- *)
 
-let fig11_tests =
+let fig11_tests () =
   Test.make_grouped ~name:"fig11"
     [ Test.make ~name:"f77_mini" (Staged.stage (fun () -> ignore (Mg_f77.run mini)));
       Test.make ~name:"c_mini" (Staged.stage (fun () -> ignore (Mg_c.run mini)));
@@ -35,7 +45,7 @@ let trace_for impl =
   let r = Driver.traced_run ~impl ~cls:mini in
   r.Driver.events
 
-let fig12_tests =
+let fig12_tests () =
   let sac_trace = trace_for Driver.Sac in
   let f77_trace = trace_for Driver.F77 in
   let c_trace = trace_for Driver.C in
@@ -52,7 +62,7 @@ let fig12_tests =
 
 (* --- E4: stencil styles --------------------------------------------- *)
 
-let stencil_tests =
+let stencil_tests () =
   let n = 32 in
   let m = n + 2 in
   let shp = [| m; m; m |] in
@@ -60,20 +70,22 @@ let stencil_tests =
   let v = Ndarray.init shp (fun iv -> float_of_int iv.(0)) in
   let r = Ndarray.create shp in
   let a = Stencil.to_array Stencil.a in
-  let wl level () =
-    Wl.with_opt_level level (fun () ->
-        ignore (Wl.force (Mg_sac.relax_kernel Stencil.a (Wl.of_ndarray u))))
+  let wl ?(linebuf = false) level () =
+    Wl.with_line_buffers linebuf (fun () ->
+        Wl.with_opt_level level (fun () ->
+            ignore (Wl.force (Mg_sac.relax_kernel Stencil.a (Wl.of_ndarray u)))))
   in
   Test.make_grouped ~name:"stencil"
     [ Test.make ~name:"wl_naive_O0" (Staged.stage (wl Wl.O0));
       Test.make ~name:"wl_factored_O1" (Staged.stage (wl Wl.O1));
+      Test.make ~name:"wl_linebuf_O1" (Staged.stage (wl ~linebuf:true Wl.O1));
       Test.make ~name:"c_unbuffered" (Staged.stage (fun () -> Mg_c.resid ~u ~v ~r ~a));
       Test.make ~name:"f77_line_buffers" (Staged.stage (fun () -> Mg_f77.resid ~u ~v ~r ~a));
     ]
 
 (* --- E6: with-loop folding ------------------------------------------ *)
 
-let fusion_tests =
+let fusion_tests () =
   let run level () = ignore (Driver.run ~opt:level ~impl:Driver.Sac ~cls:tiny ()) in
   Test.make_grouped ~name:"fusion"
     [ Test.make ~name:"tiny_O0" (Staged.stage (run Wl.O0));
@@ -82,7 +94,7 @@ let fusion_tests =
 
 (* --- Fig. 10 array library building blocks -------------------------- *)
 
-let arraylib_tests =
+let arraylib_tests () =
   let open Mg_arraylib in
   let shp = [| 34; 34; 34 |] in
   let a = Ndarray.init shp (fun iv -> float_of_int (iv.(0) + (iv.(1) * 3) + iv.(2)) /. 7.0) in
@@ -106,23 +118,59 @@ let benchmark tests =
   let raw = Benchmark.all cfg [ instance ] tests in
   Analyze.all ols instance raw
 
-let print_results results =
+(* Print one group's table; return its rows as (full name, ns/run, r²). *)
+let report results =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort compare rows in
-  List.iter
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
       | Some (t :: _) ->
           let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
-          Printf.printf "  %-32s %12.3f us/run   (r^2 %.4f)\n" name (t /. 1e3) r2
-      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+          Printf.printf "  %-32s %12.3f us/run   (r^2 %.4f)\n" name (t /. 1e3) r2;
+          Some (name, t, r2)
+      | _ ->
+          Printf.printf "  %-32s (no estimate)\n" name;
+          None)
     rows
 
 let () =
   Printf.printf "sac_mg benchmark suite (scaled-down classes; see bin/fig*.exe for full sizes)\n";
-  List.iter
-    (fun tests ->
-      let name = Test.name tests in
-      Printf.printf "\n%s:\n%!" name;
-      print_results (benchmark tests))
-    [ fig11_tests; fig12_tests; stencil_tests; fusion_tests; arraylib_tests ]
+  let all =
+    List.concat_map
+      (fun tests ->
+        let tests = tests () in
+        Printf.printf "\n%s:\n%!" (Test.name tests);
+        report (benchmark tests))
+      [ fig11_tests; fig12_tests; stencil_tests; fusion_tests; arraylib_tests ]
+  in
+  let cstats = Wl.cache_stats () in
+  let json =
+    Json.Obj
+      [ ("schema", Json.Int 1);
+        ("suite", Json.String "sac_mg_bench");
+        ("unix_time", Json.Float (Unix.time ()));
+        ("env", Json.String (Env.description ()));
+        ("plan_cache",
+         Json.Obj
+           [ ("hits", Json.Int cstats.Mg_withloop.Plan_cache.hits);
+             ("misses", Json.Int cstats.Mg_withloop.Plan_cache.misses);
+             ("evictions", Json.Int cstats.Mg_withloop.Plan_cache.evictions);
+             ("uncacheable", Json.Int cstats.Mg_withloop.Plan_cache.uncacheable);
+             ("saved_seconds", Json.Float cstats.Mg_withloop.Plan_cache.saved_seconds);
+           ]);
+        ("results",
+         Json.List
+           (List.map
+              (fun (name, ns, r2) ->
+                Json.Obj
+                  [ ("name", Json.String name);
+                    ("ns_per_run", Json.Float ns);
+                    ("r_square", Json.Float r2);
+                  ])
+              all));
+      ]
+  in
+  let path = "results/bench.json" in
+  Json.write_file path json;
+  Printf.printf "\nwrote %s (%d estimates)\n" path (List.length all)

@@ -32,13 +32,15 @@ let stencil_ablation n =
   let r = Ndarray.create shp in
   let a = Stencil.to_array Stencil.a in
   let elements = float_of_int (n * n * n) in
-  let wl_variant level () =
-    Wl.with_opt_level level (fun () ->
-        ignore (Wl.force (Mg_sac.relax_kernel Stencil.a (Wl.of_ndarray u))))
+  let wl_variant ?(linebuf = false) level () =
+    Wl.with_line_buffers linebuf (fun () ->
+        Wl.with_opt_level level (fun () ->
+            ignore (Wl.force (Mg_sac.relax_kernel Stencil.a (Wl.of_ndarray u)))))
   in
   let variants =
     [ ("with-loop, naive (O0)", fun () -> wl_variant Wl.O0 ());
       ("with-loop, factored (O1)", fun () -> wl_variant Wl.O1 ());
+      ("with-loop, line-buffered (O1)", fun () -> wl_variant ~linebuf:true Wl.O1 ());
       ("C port (factored, unbuffered)", fun () -> Mg_c.resid ~u ~v ~r ~a);
       ("Fortran port (line buffers)", fun () -> Mg_f77.resid ~u ~v ~r ~a);
     ]
@@ -99,7 +101,9 @@ let memory_ablation (cls : Classes.t) =
       events;
     List.sort (fun (a, _) (b, _) -> compare b a) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
   in
+  Wl.cache_clear ();
   let sac = by_level ~normalise:true (fst (Exp_common.traced_events ~impl:Driver.Sac ~cls)) in
+  let cstats = Wl.cache_stats () in
   let f77 = by_level ~normalise:false (fst (Exp_common.traced_events ~impl:Driver.F77 ~cls)) in
   let rows =
     List.map
@@ -118,7 +122,17 @@ let memory_ablation (cls : Classes.t) =
   in
   Table.render Format.std_formatter
     ~header:[ "grid n"; "SAC ops"; "SAC time"; "SAC ns/elt"; "F77 time"; "SAC/F77" ]
-    ~align:[ Table.R; Table.R; Table.R; Table.R; Table.R; Table.R ] rows
+    ~align:[ Table.R; Table.R; Table.R; Table.R; Table.R; Table.R ] rows;
+  let total = cstats.Mg_withloop.Plan_cache.hits + cstats.Mg_withloop.Plan_cache.misses in
+  Printf.printf
+    "\n# plan cache: %d hits / %d misses (%.1f%% hit rate), %d evictions,\n\
+     # %d uncacheable forces, %.3f ms of compilation skipped\n"
+    cstats.Mg_withloop.Plan_cache.hits cstats.Mg_withloop.Plan_cache.misses
+    (if total = 0 then 0.0 else 100.0 *. float_of_int cstats.Mg_withloop.Plan_cache.hits /. float_of_int total)
+    cstats.Mg_withloop.Plan_cache.evictions cstats.Mg_withloop.Plan_cache.uncacheable
+    (cstats.Mg_withloop.Plan_cache.saved_seconds *. 1e3);
+  if Sys.getenv_opt "WL_DEBUG_COUNTERS" <> None then
+    List.iter (fun (k, v) -> Printf.printf "# counter %-24s %d\n" k v) (Trace.counters ())
 
 (* E8: the §7 "future work" — direct periodic relaxation on bare grids
    (Mg_periodic) against the border-based benchmark program (Mg_sac). *)

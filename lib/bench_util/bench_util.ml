@@ -81,6 +81,89 @@ module Table = struct
     List.iter line rows
 end
 
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf indent v =
+    let pad n = String.make (2 * n) ' ' in
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* JSON has no NaN/infinity literal. *)
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else Buffer.add_string buf "null"
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 1));
+            emit buf (indent + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (indent + 1));
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            emit buf (indent + 1) item)
+          fields;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad indent);
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 1024 in
+    emit buf 0 v;
+    Buffer.contents buf
+
+  let write_file path v =
+    let dir = Filename.dirname path in
+    (if dir <> "." && not (Sys.file_exists dir) then try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string v);
+        output_char oc '\n')
+end
+
 module Env = struct
   let description () =
     let host = try Unix.gethostname () with _ -> "unknown-host" in

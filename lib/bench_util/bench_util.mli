@@ -36,6 +36,27 @@ module Table : sig
   val render_csv : out_channel -> header:string list -> string list list -> unit
 end
 
+module Json : sig
+  (** Just enough JSON to write machine-readable result files; no
+      parsing, no dependency. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** Non-finite values serialise as [null]. *)
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Pretty-printed, two-space indent, trailing-newline-free. *)
+
+  val write_file : string -> t -> unit
+  (** Write to [path] (creating the immediate parent directory if
+      missing), ending with a newline. *)
+end
+
 module Env : sig
   val description : unit -> string
   (** One-line machine/runtime description stamped onto experiment

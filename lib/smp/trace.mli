@@ -42,3 +42,21 @@ val set_sink : (event -> unit) option -> unit
 
 val total_seconds : event list -> float
 val pp_event : Format.formatter -> event -> unit
+
+(** {1 Named counters}
+
+    Always-on integer tallies for events too frequent (or too cheap) to
+    justify a full {!event} each — executor kernel dispatch counts, plan
+    cache hits/misses, ….  Not synchronised: bump only from the thread
+    that owns the counted machinery. *)
+
+val bump : string -> int -> unit
+(** [bump name d] adds [d] to the named counter, creating it at 0. *)
+
+val counter : string -> int
+(** Current value ([0] for a counter never bumped). *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset_counters : unit -> unit

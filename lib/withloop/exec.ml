@@ -6,6 +6,7 @@ module Domain_pool = Mg_smp.Domain_pool
 type settings = {
   fusion : Fusion.config;
   factor : bool;
+  line_buffers : bool;
   pool : unit -> Domain_pool.t;
   par_threshold : int;
 }
@@ -20,7 +21,6 @@ type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 type axes = { c0 : int array; astep : int array; counts : int array }
 
 let axes_of_gen (g : Generator.t) : axes option =
-  let r = Generator.rank g in
   if Array.exists (fun w -> w <> 1) g.Generator.width then None
   else
     Some
@@ -254,6 +254,7 @@ let[@inline never] run_row ~const (clusters : ccluster array) (cb1 : int array) 
 
 (* Executor path counters (diagnostics and tests). *)
 let hits_stencil = ref 0
+let hits_linebuf = ref 0
 let hits_copy = ref 0
 let hits_generic = ref 0
 let hits_interp = ref 0
@@ -485,6 +486,128 @@ let run_stencil3 ~const (st : stencil3) (out : Ndarray.buffer) ~obase ~osteps
     done
   done
 
+(* Line-buffered variant of the box-stencil kernel — the Fortran
+   port's resid/psinv technique (mg_f77.ml).  Per output row, the four
+   off-row face neighbours and the four edge diagonals of every inner
+   position are summed once into [u1]/[u2]; the element loop then
+   combines three adjacent entries of each, replacing 20 of the 26
+   neighbour loads by 4 buffered adds plus 6 buffer reads.  Requires a
+   unit inner walk step ([s_st2 = 1]) so buffer index and inner offset
+   coincide; every read it performs is one the plain kernel performs
+   too, so in-bounds-ness is inherited.  The groupings
+   [u2 + u1(i-1) + u1(i+1)] and [u2(i-1) + u2(i+1)] are exactly the
+   Fortran port's, which keeps the two implementations' floating-point
+   results within ulps of each other. *)
+let run_stencil3_linebuf ~const (st : stencil3) (out : Ndarray.buffer) ~obase ~osteps
+    ~(counts : int array) =
+  let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
+  let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
+  let sp = st.s_sp and sr = st.s_sr in
+  let st0 = st.s_st0 and st1 = st.s_st1 in
+  let buf = st.sbuf in
+  let c0 = st.c0 and c1 = st.c1 and c2 = st.c2 and c3 = st.c3 in
+  let ne = Array.length st.extras in
+  let ebuf = Array.map (fun e -> e.xbuf) st.extras in
+  let ecoef = Array.map (fun e -> e.xcoeffs.(0)) st.extras in
+  let ebase = Array.map (fun e -> e.xbase + e.xdeltas.(0).(0)) st.extras in
+  let est0 = Array.map (fun e -> e.xsteps.(0)) st.extras in
+  let est1 = Array.map (fun e -> e.xsteps.(1)) st.extras in
+  let est2 = Array.map (fun e -> e.xsteps.(2)) st.extras in
+  let eb = Array.make ne 0 in
+  let has_c1 = c1 <> 0.0 and has_c3 = c3 <> 0.0 in
+  let m = n2 + 2 in
+  let u1 = Array.make m 0.0 and u2 = Array.make m 0.0 in
+  let g p = Bigarray.Array1.unsafe_get buf p in
+  for k0 = 0 to n0 - 1 do
+    for k1 = 0 to n1 - 1 do
+      let b0 = st.sbase + (k0 * st0) + (k1 * st1) in
+      let ob = obase + (k0 * os0) + (k1 * os1) in
+      (* Plane sums over the row, one element beyond each end. *)
+      for i = 0 to m - 1 do
+        let q = b0 + i - 1 in
+        Array.unsafe_set u1 i (g (q - sr) +. g (q + sr) +. g (q - sp) +. g (q + sp));
+        Array.unsafe_set u2 i
+          (g (q - sp - sr) +. g (q - sp + sr) +. g (q + sp - sr) +. g (q + sp + sr))
+      done;
+      for e = 0 to ne - 1 do
+        eb.(e) <- ebase.(e) + (k0 * est0.(e)) + (k1 * est1.(e))
+      done;
+      if ne = 1 && not has_c1 && has_c3 then begin
+        (* residual: v - A·u *)
+        let xb = Array.unsafe_get ebuf 0
+        and xc = Array.unsafe_get ecoef 0
+        and x0 = Array.unsafe_get eb 0
+        and xs = Array.unsafe_get est2 0 in
+        for k2 = 0 to n2 - 1 do
+          let p = b0 + k2 and i = k2 + 1 in
+          Bigarray.Array1.unsafe_set out
+            (ob + (k2 * os2))
+            (const +. (c0 *. g p)
+            +. (c2
+               *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
+                  +. Array.unsafe_get u1 (i + 1)))
+            +. (c3 *. (Array.unsafe_get u2 (i - 1) +. Array.unsafe_get u2 (i + 1)))
+            +. (xc *. Bigarray.Array1.unsafe_get xb (x0 + (k2 * xs))))
+        done
+      end
+      else if ne = 1 && has_c1 && not has_c3 then begin
+        (* smoother applied into a sum: z + S·r *)
+        let xb = Array.unsafe_get ebuf 0
+        and xc = Array.unsafe_get ecoef 0
+        and x0 = Array.unsafe_get eb 0
+        and xs = Array.unsafe_get est2 0 in
+        for k2 = 0 to n2 - 1 do
+          let p = b0 + k2 and i = k2 + 1 in
+          Bigarray.Array1.unsafe_set out
+            (ob + (k2 * os2))
+            (const +. (c0 *. g p)
+            +. (c1 *. (g (p - 1) +. g (p + 1) +. Array.unsafe_get u1 i))
+            +. (c2
+               *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
+                  +. Array.unsafe_get u1 (i + 1)))
+            +. (xc *. Bigarray.Array1.unsafe_get xb (x0 + (k2 * xs))))
+        done
+      end
+      else if ne = 0 && has_c1 && has_c3 then
+        (* full 27-point operator *)
+        for k2 = 0 to n2 - 1 do
+          let p = b0 + k2 and i = k2 + 1 in
+          Bigarray.Array1.unsafe_set out
+            (ob + (k2 * os2))
+            (const +. (c0 *. g p)
+            +. (c1 *. (g (p - 1) +. g (p + 1) +. Array.unsafe_get u1 i))
+            +. (c2
+               *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
+                  +. Array.unsafe_get u1 (i + 1)))
+            +. (c3 *. (Array.unsafe_get u2 (i - 1) +. Array.unsafe_get u2 (i + 1))))
+        done
+      else
+        (* general fallback: any coefficient pattern, any extras *)
+        for k2 = 0 to n2 - 1 do
+          let p = b0 + k2 and i = k2 + 1 in
+          let acc = ref (const +. (c0 *. g p)) in
+          if has_c1 then
+            acc := !acc +. (c1 *. (g (p - 1) +. g (p + 1) +. Array.unsafe_get u1 i));
+          if c2 <> 0.0 then
+            acc :=
+              !acc
+              +. c2
+                 *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
+                    +. Array.unsafe_get u1 (i + 1));
+          if has_c3 then
+            acc := !acc +. (c3 *. (Array.unsafe_get u2 (i - 1) +. Array.unsafe_get u2 (i + 1)));
+          for e = 0 to ne - 1 do
+            acc :=
+              !acc
+              +. Array.unsafe_get ecoef e
+                 *. Bigarray.Array1.unsafe_get (Array.unsafe_get ebuf e)
+                      (Array.unsafe_get eb e + (k2 * Array.unsafe_get est2 e))
+          done;
+          Bigarray.Array1.unsafe_set out (ob + (k2 * os2)) !acc
+        done
+    done
+  done
+
 (* Flat-weighted kernel: one cluster with few reads (the specialised
    interpolation bodies that residue splitting produces).  Coefficients
    are pre-multiplied into per-read weights, trading the factored
@@ -595,55 +718,116 @@ let is_plain_copy ~const (clusters : ccluster array) ~(osteps : int array) =
   && Shape.equal cl.xsteps osteps
   && osteps.(Array.length osteps - 1) = 1
 
-let run_lin3 ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
+(* Generic rank-3 cluster nest (no recognised kernel). *)
+let run_generic3 ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
     ~(counts : int array) =
   let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
   let nc = Array.length clusters in
   let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
-  if is_plain_copy ~const clusters ~osteps then begin
-    incr hits_copy;
-    let cl = clusters.(0) in
-    let delta = cl.xbase - obase in
-    for k0 = 0 to n0 - 1 do
-      for k1 = 0 to n1 - 1 do
-        let ob = obase + (k0 * os0) + (k1 * os1) in
-        Bigarray.Array1.blit
-          (Bigarray.Array1.sub cl.xbuf (ob + delta) n2)
-          (Bigarray.Array1.sub out ob n2)
-      done
+  let cb0 = Array.make nc 0 and cb1 = Array.make nc 0 in
+  for k0 = 0 to n0 - 1 do
+    for ci = 0 to nc - 1 do
+      cb0.(ci) <- clusters.(ci).xbase + (k0 * clusters.(ci).xsteps.(0))
+    done;
+    let ob0 = obase + (k0 * os0) in
+    for k1 = 0 to n1 - 1 do
+      for ci = 0 to nc - 1 do
+        cb1.(ci) <- cb0.(ci) + (k1 * clusters.(ci).xsteps.(1))
+      done;
+      run_row ~const clusters cb1 ~axis:2 ~n:n2 out ~ob:(ob0 + (k1 * os1)) ~os:os2
     done
-  end
-  else begin
+  done
+
+(* The rank-3 kernel choice, decided once when a part is compiled and
+   reused on every (possibly cached) execution.  Stencil payloads carry
+   the index of their cluster and of each extra within the part's
+   cluster array so the payload can be rebound to fresh buffers. *)
+type k3 =
+  | K3copy
+  | K3stencil of stencil3 * int * int array
+  | K3stencil_lb of stencil3 * int * int array
+  | K3zip
+  | K3flat
+  | K3generic
+
+(* Rebuild a stencil payload against (freshly bound and/or base-shifted)
+   clusters; [koff] is the payload's displacement in outer-axis steps. *)
+let rebind_k3 (clusters : ccluster array) ~koff = function
+  | (K3copy | K3zip | K3flat | K3generic) as k -> k
+  | K3stencil (s, si, eidx) ->
+      K3stencil
+        ( { s with
+            sbuf = clusters.(si).xbuf;
+            sbase = s.sbase + (koff * s.s_st0);
+            extras = Array.map (fun i -> clusters.(i)) eidx;
+          },
+          si,
+          eidx )
+  | K3stencil_lb (s, si, eidx) ->
+      K3stencil_lb
+        ( { s with
+            sbuf = clusters.(si).xbuf;
+            sbase = s.sbase + (koff * s.s_st0);
+            extras = Array.map (fun i -> clusters.(i)) eidx;
+          },
+          si,
+          eidx )
+
+let choose_k3 ~line_buffers ~const (clusters : ccluster array) ~osteps =
+  if is_plain_copy ~const clusters ~osteps then K3copy
+  else
     match recognize_stencil3 ~const clusters ~osteps with
-    | Some st ->
-        incr hits_stencil;
-        run_stencil3 ~const st out ~obase ~osteps ~counts
-    | None when Array.length clusters > 0 && Array.for_all is_single_read clusters ->
-        incr hits_interp;
-        run_zip3 ~const clusters out ~obase ~osteps ~counts
+    | Some s ->
+        let si = ref 0 and eidx = ref [] in
+        Array.iteri
+          (fun i cl -> if is_single_read cl then eidx := i :: !eidx else si := i)
+          clusters;
+        let eidx = Array.of_list (List.rev !eidx) in
+        (* Line buffering pays when the plane sums are reused across the
+           inner loop — i.e. when edge or corner classes are present —
+           and needs a unit inner walk step. *)
+        if line_buffers && s.s_st2 = 1 && (s.c2 <> 0.0 || s.c3 <> 0.0) then
+          K3stencil_lb (s, !si, eidx)
+        else K3stencil (s, !si, eidx)
+    | None when Array.length clusters > 0 && Array.for_all is_single_read clusters -> K3zip
     | None
       when Array.length clusters = 1
            && Array.fold_left (fun acc ds -> acc + Array.length ds) 0 clusters.(0).xdeltas <= 8 ->
-        incr hits_interp;
-        run_flat3 ~const clusters.(0) out ~obase ~osteps ~counts
-    | None ->
-    begin
-    incr hits_generic;
-    let cb0 = Array.make nc 0 and cb1 = Array.make nc 0 in
-    for k0 = 0 to n0 - 1 do
-      for ci = 0 to nc - 1 do
-        cb0.(ci) <- clusters.(ci).xbase + (k0 * clusters.(ci).xsteps.(0))
-      done;
-      let ob0 = obase + (k0 * os0) in
-      for k1 = 0 to n1 - 1 do
-        for ci = 0 to nc - 1 do
-          cb1.(ci) <- cb0.(ci) + (k1 * clusters.(ci).xsteps.(1))
-        done;
-        run_row ~const clusters cb1 ~axis:2 ~n:n2 out ~ob:(ob0 + (k1 * os1)) ~os:os2
+        K3flat
+    | None -> K3generic
+
+let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
+    ~(counts : int array) =
+  match k with
+  | K3copy ->
+      incr hits_copy;
+      let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
+      let os0 = osteps.(0) and os1 = osteps.(1) in
+      let cl = clusters.(0) in
+      let delta = cl.xbase - obase in
+      for k0 = 0 to n0 - 1 do
+        for k1 = 0 to n1 - 1 do
+          let ob = obase + (k0 * os0) + (k1 * os1) in
+          Bigarray.Array1.blit
+            (Bigarray.Array1.sub cl.xbuf (ob + delta) n2)
+            (Bigarray.Array1.sub out ob n2)
+        done
       done
-    done
-    end
-  end
+  | K3stencil (st, _, _) ->
+      incr hits_stencil;
+      run_stencil3 ~const st out ~obase ~osteps ~counts
+  | K3stencil_lb (st, _, _) ->
+      incr hits_linebuf;
+      run_stencil3_linebuf ~const st out ~obase ~osteps ~counts
+  | K3zip ->
+      incr hits_interp;
+      run_zip3 ~const clusters out ~obase ~osteps ~counts
+  | K3flat ->
+      incr hits_interp;
+      run_flat3 ~const clusters.(0) out ~obase ~osteps ~counts
+  | K3generic ->
+      incr hits_generic;
+      run_generic3 ~const clusters out ~obase ~osteps ~counts
 
 let run_lin_generic ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
     ~(counts : int array) =
@@ -691,43 +875,142 @@ let run_lin_generic ~const (clusters : ccluster array) (out : Ndarray.buffer) ~o
   end
 
 (* ------------------------------------------------------------------ *)
-(* Running one (sub-)generator of a part                               *)
+(* Part compilation.
 
-let out_layout (out : Ndarray.t) (ax : axes) =
-  let strides = out.Ndarray.strides in
+   A part is compiled once per force — linear-form extraction,
+   clustering, output layout and kernel choice — into a [cpart] that
+   executes by plain loop nests with no further analysis.  The compiled
+   form is also what the plan cache stores: it references buffers only
+   through its cluster array, which replay rebinds.  Parallel execution
+   shifts the compiled bases by whole outer-axis steps per piece
+   instead of re-deriving layouts piece by piece. *)
+
+type cpart = {
+  kgen : Generator.t;
+  kcard : int;
+  kconst : float;
+  kclusters : ccluster array;
+  kkernel : k3 option;  (* [Some] iff the part is rank 3 *)
+  kobase : int;
+  kosteps : int array;
+  kcounts : int array;
+}
+
+type compiled =
+  | Ccompiled of cpart
+  | Cclosure of Generator.t * int * Ir.expr  (* gen, cardinal, body *)
+
+let compiled_card = function Ccompiled c -> c.kcard | Cclosure (_, card, _) -> card
+let compiled_gen = function Ccompiled c -> c.kgen | Cclosure (g, _, _) -> g
+
+(* Flat base/steps of the output for the part's affine axes, from the
+   output strides alone (the buffer is not needed — cached plans are
+   compiled against outputs that do not exist yet on replay). *)
+let out_layout_of ~(ostrides : int array) (ax : axes) =
   let rank = Array.length ax.c0 in
   let base = ref 0 and steps = Array.make rank 0 in
   for j = 0 to rank - 1 do
-    base := !base + (strides.(j) * ax.c0.(j));
-    steps.(j) <- strides.(j) * ax.astep.(j)
+    base := !base + (ostrides.(j) * ax.c0.(j));
+    steps.(j) <- ostrides.(j) * ax.astep.(j)
   done;
   (!base, steps)
 
-let run_piece (out : Ndarray.t) plan (g : Generator.t) =
-  let fallback body =
-    incr hits_cfun;
-    (if Sys.getenv_opt "WL_DEBUG_CFUN" <> None then
-       Format.eprintf "CFUN part %a body %a@." Generator.pp g Ir.pp_expr body);
-    let f = closure_of body in
-    let shape = Ndarray.shape out in
-    Generator.iter g (fun iv -> Ndarray.set_flat out (Shape.ravel ~shape iv) (f iv))
-  in
-  match plan with
-  | Pfun f ->
-      incr hits_cfun;
-      let shape = Ndarray.shape out in
-      Generator.iter g (fun iv -> Ndarray.set_flat out (Shape.ravel ~shape iv) (f iv))
-  | Plin { const; groups; body } -> (
-      match axes_of_gen g with
-      | None -> fallback body
+let compile_part st ~ostrides (p : Ir.part) : compiled =
+  let gen = p.Ir.gen in
+  let card = Generator.cardinal gen in
+  match Linform.of_expr p.Ir.body with
+  | None -> Cclosure (gen, card, p.Ir.body)
+  | Some lf -> (
+      let groups =
+        if st.factor then Linform.factor lf
+        else List.map (fun (c, r) -> (c, [ r ])) lf.Linform.terms
+      in
+      let const = lf.Linform.const in
+      match axes_of_gen gen with
+      | None -> Cclosure (gen, card, p.Ir.body)
       | Some ax -> (
           match clusterize ax groups with
-          | None -> fallback body
+          | None -> Cclosure (gen, card, p.Ir.body)
           | Some clusters ->
-              let obase, osteps = out_layout out ax in
-              if Array.length ax.counts = 3 then
-                run_lin3 ~const clusters out.Ndarray.data ~obase ~osteps ~counts:ax.counts
-              else run_lin_generic ~const clusters out.Ndarray.data ~obase ~osteps ~counts:ax.counts))
+              let kobase, kosteps = out_layout_of ~ostrides ax in
+              let kkernel =
+                if Array.length ax.counts = 3 then
+                  Some (choose_k3 ~line_buffers:st.line_buffers ~const clusters ~osteps:kosteps)
+                else None
+              in
+              Ccompiled
+                { kgen = gen;
+                  kcard = card;
+                  kconst = const;
+                  kclusters = clusters;
+                  kkernel;
+                  kobase;
+                  kosteps;
+                  kcounts = ax.counts;
+                }))
+
+(* ------------------------------------------------------------------ *)
+(* Running one (sub-)generator of a compiled part                      *)
+
+let run_closure_piece (out : Ndarray.t) (f : Shape.t -> float) (g : Generator.t) =
+  incr hits_cfun;
+  let shape = Ndarray.shape out in
+  Generator.iter g (fun iv -> Ndarray.set_flat out (Shape.ravel ~shape iv) (f iv))
+
+(* Execute a compiled part over one coordinate band.  [piece] must have
+   the same step/width as [cp.kgen] with its lower bound displaced by a
+   whole number of outer-axis steps (what [Generator.split_axis]
+   produces), so every layout shifts by [koff] steps along axis 0. *)
+let run_cpart_piece (out : Ndarray.t) (cp : cpart) ~(piece : Generator.t) ~whole =
+  let koff =
+    if whole || Generator.rank cp.kgen = 0 then 0
+    else (piece.Generator.lb.(0) - cp.kgen.Generator.lb.(0)) / cp.kgen.Generator.step.(0)
+  in
+  let counts = if whole then cp.kcounts else Generator.counts piece in
+  let clusters =
+    if koff = 0 then cp.kclusters
+    else
+      Array.map (fun cl -> { cl with xbase = cl.xbase + (koff * cl.xsteps.(0)) }) cp.kclusters
+  in
+  let obase = cp.kobase + (koff * cp.kosteps.(0)) in
+  match cp.kkernel with
+  | Some k ->
+      let k = if koff = 0 then k else rebind_k3 clusters ~koff k in
+      run_k3 ~const:cp.kconst k clusters out.Ndarray.data ~obase ~osteps:cp.kosteps ~counts
+  | None ->
+      run_lin_generic ~const:cp.kconst clusters out.Ndarray.data ~obase ~osteps:cp.kosteps
+        ~counts
+
+let exec_compiled st (out : Ndarray.t) (c : compiled) =
+  let gen = compiled_gen c in
+  let card = compiled_card c in
+  if card > 0 then begin
+    let pool = st.pool () in
+    let nworkers = Domain_pool.size pool in
+    let par = card >= st.par_threshold && nworkers > 1 && Generator.rank gen > 0 in
+    match c with
+    | Cclosure (_, _, body) ->
+        (if Sys.getenv_opt "WL_DEBUG_CFUN" <> None then
+           Format.eprintf "CFUN part %a body %a@." Generator.pp gen Ir.pp_expr body);
+        let f = closure_of body in
+        if par then begin
+          let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:nworkers) in
+          Domain_pool.parallel_for pool ~lo:0 ~hi:(Array.length pieces) (fun lo hi ->
+              for i = lo to hi - 1 do
+                run_closure_piece out f pieces.(i)
+              done)
+        end
+        else run_closure_piece out f gen
+    | Ccompiled cp ->
+        if par then begin
+          let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:nworkers) in
+          Domain_pool.parallel_for pool ~lo:0 ~hi:(Array.length pieces) (fun lo hi ->
+              for i = lo to hi - 1 do
+                run_cpart_piece out cp ~piece:pieces.(i) ~whole:false
+              done)
+        end
+        else run_cpart_piece out cp ~piece:gen ~whole:true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Box copies for modarray bases                                       *)
@@ -875,6 +1158,72 @@ let release_sources (n : Ir.node) =
   List.iter (fun (p : Ir.part) -> List.iter consume (Ir.expr_sources p.Ir.body)) parts
 
 (* ------------------------------------------------------------------ *)
+(* Cached plans                                                        *)
+
+(* How the output buffer of a force is produced, with base sources
+   referenced by binding slot. *)
+type out_mode =
+  | OFresh  (** Fully covered: uninitialised allocation. *)
+  | OFill of float  (** Partial genarray: fill with the default. *)
+  | OBlit of int  (** Modarray: copy the whole base first. *)
+  | OComplement of int * Shape.t * Shape.t
+      (** Modarray with one dense part: copy the base outside [lb,ub). *)
+  | OSteal of int  (** Barrier modarray: update the base in place. *)
+
+type cplan = {
+  cmode : out_mode;
+  cparts : (cpart * int array) array;
+      (** Compiled parts with, per cluster, the binding slot its buffer
+          comes from.  Stored templates have their buffers stripped. *)
+  celements : int;
+  ccompile : float;  (** Seconds of optimisation/compilation a hit skips. *)
+}
+
+type centry = CPlan of cplan | CUncacheable
+
+let plan_cache : centry Plan_cache.t = Plan_cache.create ()
+
+let cache_clear () =
+  Plan_cache.clear plan_cache;
+  pool_clear ()
+
+(* The optimisation-configuration fingerprint prefixed to every key.
+   Thread count and parallel threshold are deliberately absent: the
+   parallel split is applied at execution time, so one plan serves any
+   pool size. *)
+let env_of st =
+  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;" st.fusion.Fusion.fold
+    st.fusion.Fusion.split_strided st.fusion.Fusion.split_threshold st.factor st.line_buffers
+
+let slot_of_source (bindings : Ir.source array) (s : Ir.source) =
+  let nb = Array.length bindings in
+  let rec go i =
+    if i >= nb then None
+    else
+      match (bindings.(i), s) with
+      | Ir.Node a, Ir.Node b when a == b -> Some i
+      | Ir.Arr a, Ir.Arr b when a.Ndarray.data == b.Ndarray.data -> Some i
+      | Ir.Arr a, Ir.Node b when
+          (match b.Ir.cache with Some arr -> arr.Ndarray.data == a.Ndarray.data | None -> false)
+        ->
+          (* A materialised node deduplicated against a leaf array. *)
+          Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+(* Stored templates must not pin the buffers of the force that created
+   them (a cached plan for a 258^3 operator would otherwise retain
+   ~500 MB of dead grids), so cluster buffers are replaced by a shared
+   zero-length dummy; replay rebinds before execution. *)
+let dummy_buf : Ndarray.buffer =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+
+let strip_cpart (cp : cpart) =
+  let kclusters = Array.map (fun cl -> { cl with xbuf = dummy_buf }) cp.kclusters in
+  { cp with kclusters; kkernel = Option.map (rebind_k3 kclusters ~koff:0) cp.kkernel }
+
+(* ------------------------------------------------------------------ *)
 (* Forcing                                                             *)
 
 let child_time = ref 0.0
@@ -882,135 +1231,300 @@ let child_time = ref 0.0
 let rec force st (n : Ir.node) : Ndarray.t =
   match n.Ir.cache with
   | Some a -> a
-  | None ->
-      let saved_child = !child_time in
-      child_time := 0.0;
-      let t0 = Clock.now () in
-      let shape = n.Ir.nshape in
-      (* Update-in-place: a barrier modarray (the periodic-border nodes
-         of the array library, whose parts provably read outside their
-         write sets) whose base node has no consumer other than this
-         node steals the base's freshly computed buffer instead of
-         copying it — SAC's reference-count-driven reuse. *)
-      let stolen =
-        match n.Ir.spec with
-        | Ir.Modarray { base = Ir.Node b; parts } when n.Ir.barrier && b.Ir.cache = None ->
-            let base_readers =
-              List.length
-                (List.filter
-                   (fun (p : Ir.part) ->
-                     List.exists
-                       (function Ir.Node s -> s == b | Ir.Arr _ -> false)
-                       (Ir.expr_sources p.Ir.body))
-                   parts)
-            in
-            if b.Ir.refs = 1 + base_readers then begin
-              let arr = force st b in
-              Some (b, arr)
-            end
-            else None
-        | _ -> None
-      in
-      (* Lower modarray to a fully-covering genarray when all parts are
-         dense boxes: the complement reads the base element-wise, which
-         the optimiser can fold instead of copying.  A stolen base needs
-         no complement parts at all — its values are already in place. *)
-      let raw_parts, base_arr, default =
-        match n.Ir.spec with
-        | Ir.Genarray { default; parts } -> (parts, None, default)
-        | Ir.Modarray { base; parts } ->
-            if stolen <> None then (parts, None, 0.0)
-            else if List.for_all (fun (p : Ir.part) -> Generator.is_dense p.Ir.gen) parts
-            then begin
-              let rank = Shape.rank shape in
-              let complement =
-                List.filter_map
-                  (fun (lb, ub) ->
-                    let gen = Generator.make ~lb ~ub () in
-                    if Generator.is_empty gen then None
-                    else Some { Ir.gen; body = Ir.Read (base, Ixmap.identity rank) })
-                  (complement_boxes shape parts)
-              in
-              (parts @ complement, None, 0.0)
-            end
-            else (parts, Some (force_source st base), 0.0)
-      in
-      let parts =
-        List.concat_map
-          (fun (p : Ir.part) -> Fusion.optimize st.fusion ~force:(force st) p.Ir.gen p.Ir.body)
-          raw_parts
-      in
-      let out =
-        match stolen with
-        | Some (b, arr) ->
-            (* Reads of [b] inside the optimised parts resolved to the
-               same buffer via its cache; clearing the cache afterwards
-               makes any later force recompute instead of observing the
-               in-place update. *)
-            Ir.clear_cache b;
-            arr
-        | None ->
-            let covered =
-              List.fold_left (fun acc (p : Ir.part) -> acc + Generator.cardinal p.Ir.gen) 0 parts
-            in
-            let fully_covered = covered >= Shape.num_elements shape && base_arr = None in
-            if fully_covered then pool_alloc shape
-            else begin
-              match base_arr with
-              | Some base ->
-                  let out = pool_alloc shape in
-                  (match parts with
-                  | [ p ] when Generator.is_dense p.Ir.gen ->
-                      (* Non-lowered modarray with one dense part: only
-                         the complement of the part needs the base. *)
-                      copy_complement base out p.Ir.gen.Generator.lb p.Ir.gen.Generator.ub
-                  | _ -> Ndarray.blit ~src:base ~dst:out);
-                  out
-              | None ->
-                  let out = pool_alloc shape in
-                  Ndarray.fill out default;
-                  out
-            end
-      in
-      List.iter (exec_part st out) parts;
-      Ir.set_cache n out;
-      release_sources n;
-      let total = Clock.now () -. t0 in
-      let self = total -. !child_time in
-      child_time := saved_child +. total;
-      if Trace.enabled () then begin
-        let elements =
-          List.fold_left (fun acc (p : Ir.part) -> acc + Generator.cardinal p.Ir.gen) 0 parts
-        in
-        Trace.emit
-          { Trace.tag = (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
-            elements;
-            seq_seconds = self;
-            bytes_alloc = (if stolen = None then 8 * Shape.num_elements shape else 0);
-            parallel = true;
-            level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
-          }
-      end;
-      out
+  | None -> (
+      match Plan_cache.key_of_graph ~env:(env_of st) ~fold:st.fusion.Fusion.fold n with
+      | None ->
+          Plan_cache.note_uncacheable ();
+          force_slow st n None
+      | Some (key, bindings) -> (
+          match Plan_cache.find plan_cache key with
+          | Some (CPlan p) -> force_replay st n p bindings
+          | Some CUncacheable ->
+              Plan_cache.note_uncacheable ();
+              force_slow st n None
+          | None -> force_slow st n (Some (key, bindings))))
 
 and force_source st = function Ir.Arr a -> a | Ir.Node n -> force st n
 
-and exec_part st (out : Ndarray.t) (p : Ir.part) =
-  let gen = p.Ir.gen in
-  let card = Generator.cardinal gen in
-  if card > 0 then begin
-    let plan = make_plan st p.Ir.body in
-    let pool = st.pool () in
-    let nworkers = Domain_pool.size pool in
-    if card >= st.par_threshold && nworkers > 1 then begin
-      let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:nworkers) in
-      Domain_pool.parallel_for pool ~lo:0 ~hi:(Array.length pieces) (fun lo hi ->
-          for i = lo to hi - 1 do
-            run_piece out plan pieces.(i)
-          done)
-    end
-    else run_piece out plan gen
-  end
+(* The cached fast path: bind the plan's slots to this graph's buffers
+   (forcing producers on demand) and run the stored loop nests. *)
+and force_replay st (n : Ir.node) (p : cplan) (bindings : Ir.source array) : Ndarray.t =
+  let saved_child = !child_time in
+  child_time := 0.0;
+  let t0 = Clock.now () in
+  let shape = n.Ir.nshape in
+  let memo : Ndarray.buffer option array = Array.make (Array.length bindings) None in
+  let get_buf i =
+    match memo.(i) with
+    | Some b -> b
+    | None ->
+        let arr = force_source st bindings.(i) in
+        let b = arr.Ndarray.data in
+        memo.(i) <- Some b;
+        b
+  in
+  let stolen = match p.cmode with OSteal _ -> true | _ -> false in
+  let out =
+    match p.cmode with
+    | OFresh -> pool_alloc shape
+    | OFill d ->
+        let out = pool_alloc shape in
+        Ndarray.fill out d;
+        out
+    | OBlit i ->
+        let base = force_source st bindings.(i) in
+        memo.(i) <- Some base.Ndarray.data;
+        let out = pool_alloc shape in
+        Ndarray.blit ~src:base ~dst:out;
+        out
+    | OComplement (i, lb, ub) ->
+        let base = force_source st bindings.(i) in
+        memo.(i) <- Some base.Ndarray.data;
+        let out = pool_alloc shape in
+        copy_complement base out lb ub;
+        out
+    | OSteal i -> (
+        match bindings.(i) with
+        | Ir.Node b ->
+            let arr = force st b in
+            (* Bind the slot before clearing so cluster reads of the
+               base resolve to the stolen buffer, as on the slow path. *)
+            memo.(i) <- Some arr.Ndarray.data;
+            Ir.clear_cache b;
+            arr
+        | Ir.Arr _ -> invalid_arg "Exec: steal plan bound to a leaf array")
+  in
+  Array.iter
+    (fun ((cpt : cpart), slots) ->
+      let kclusters =
+        Array.mapi (fun j cl -> { cl with xbuf = get_buf slots.(j) }) cpt.kclusters
+      in
+      let cp =
+        { cpt with kclusters; kkernel = Option.map (rebind_k3 kclusters ~koff:0) cpt.kkernel }
+      in
+      exec_compiled st out (Ccompiled cp))
+    p.cparts;
+  Ir.set_cache n out;
+  release_sources n;
+  Plan_cache.note_hit ~saved:p.ccompile;
+  let total = Clock.now () -. t0 in
+  let self = total -. !child_time in
+  child_time := saved_child +. total;
+  if Trace.enabled () then
+    Trace.emit
+      { Trace.tag =
+          (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
+        elements = p.celements;
+        seq_seconds = self;
+        bytes_alloc = (if stolen then 0 else 8 * Shape.num_elements shape);
+        parallel = true;
+        level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
+      };
+  out
+
+(* The full pipeline; when [record] carries this graph's key and
+   bindings, the compiled result is stored for later replays. *)
+and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : Ndarray.t =
+  let saved_child = !child_time in
+  child_time := 0.0;
+  let t0 = Clock.now () in
+  let shape = n.Ir.nshape in
+  let bindings_opt = Option.map snd record in
+  let cacheable = ref (record <> None) in
+  let mode = ref OFresh in
+  (* Resolve a source to its binding slot for the stored plan's output
+     mode; an unresolvable source makes the plan uncacheable. *)
+  let record_mode src f =
+    match bindings_opt with
+    | None -> ()
+    | Some bindings -> (
+        match slot_of_source bindings src with
+        | Some i -> mode := f i
+        | None -> cacheable := false)
+  in
+  (* Update-in-place: a barrier modarray (the periodic-border nodes
+     of the array library, whose parts provably read outside their
+     write sets) whose base node has no consumer other than this
+     node steals the base's freshly computed buffer instead of
+     copying it — SAC's reference-count-driven reuse. *)
+  let stolen =
+    match n.Ir.spec with
+    | Ir.Modarray { base = Ir.Node b; parts } when n.Ir.barrier && b.Ir.cache = None ->
+        let base_readers =
+          List.length
+            (List.filter
+               (fun (p : Ir.part) ->
+                 List.exists
+                   (function Ir.Node s -> s == b | Ir.Arr _ -> false)
+                   (Ir.expr_sources p.Ir.body))
+               parts)
+        in
+        if b.Ir.refs = 1 + base_readers then begin
+          let arr = force st b in
+          Some (b, arr)
+        end
+        else None
+    | _ -> None
+  in
+  (* Lower modarray to a fully-covering genarray when all parts are
+     dense boxes: the complement reads the base element-wise, which
+     the optimiser can fold instead of copying.  A stolen base needs
+     no complement parts at all — its values are already in place. *)
+  let raw_parts, base_src, default =
+    match n.Ir.spec with
+    | Ir.Genarray { default; parts } -> (parts, None, default)
+    | Ir.Modarray { base; parts } ->
+        if stolen <> None then (parts, None, 0.0)
+        else if List.for_all (fun (p : Ir.part) -> Generator.is_dense p.Ir.gen) parts then begin
+          let rank = Shape.rank shape in
+          let complement =
+            List.filter_map
+              (fun (lb, ub) ->
+                let gen = Generator.make ~lb ~ub () in
+                if Generator.is_empty gen then None
+                else Some { Ir.gen; body = Ir.Read (base, Ixmap.identity rank) })
+              (complement_boxes shape parts)
+          in
+          (parts @ complement, None, 0.0)
+        end
+        else (parts, Some base, 0.0)
+  in
+  let base_arr = Option.map (force_source st) base_src in
+  (* Optimise and compile, separating the pipeline's own cost from
+     nested producer forces — it is what a later cache hit saves. *)
+  let cstart = Clock.now () in
+  let child0 = !child_time in
+  let parts =
+    List.concat_map
+      (fun (p : Ir.part) -> Fusion.optimize st.fusion ~force:(force st) p.Ir.gen p.Ir.body)
+      raw_parts
+  in
+  let ostrides = Shape.strides shape in
+  let compiled =
+    List.filter_map
+      (fun (p : Ir.part) ->
+        if Generator.is_empty p.Ir.gen then None else Some (compile_part st ~ostrides p))
+      parts
+  in
+  let compile_cost = Clock.now () -. cstart -. (!child_time -. child0) in
+  let elements = List.fold_left (fun acc c -> acc + compiled_card c) 0 compiled in
+  let out =
+    match stolen with
+    | Some (b, arr) ->
+        (* Reads of [b] inside the optimised parts resolved to the
+           same buffer via its cache; clearing the cache afterwards
+           makes any later force recompute instead of observing the
+           in-place update. *)
+        Ir.clear_cache b;
+        record_mode (Ir.Node b) (fun i -> OSteal i);
+        arr
+    | None ->
+        let fully_covered = elements >= Shape.num_elements shape && base_src = None in
+        if fully_covered then pool_alloc shape
+        else begin
+          match (base_arr, base_src) with
+          | Some base, Some src ->
+              let out = pool_alloc shape in
+              (match compiled with
+              | [ c ] when Generator.is_dense (compiled_gen c) ->
+                  (* Non-lowered modarray with one dense part: only
+                     the complement of the part needs the base. *)
+                  let g = compiled_gen c in
+                  copy_complement base out g.Generator.lb g.Generator.ub;
+                  record_mode src (fun i ->
+                      OComplement (i, Array.copy g.Generator.lb, Array.copy g.Generator.ub))
+              | _ ->
+                  Ndarray.blit ~src:base ~dst:out;
+                  record_mode src (fun i -> OBlit i));
+              out
+          | _ ->
+              let out = pool_alloc shape in
+              Ndarray.fill out default;
+              mode := OFill default;
+              out
+        end
+  in
+  List.iter (exec_compiled st out) compiled;
+  Ir.set_cache n out;
+  (* Store the plan while producer caches are still alive (the slot
+     mapping below reads them); [release_sources] may recycle them. *)
+  (match record with
+  | None -> ()
+  | Some (key, bindings) ->
+      if not !cacheable then begin
+        Plan_cache.add plan_cache key CUncacheable;
+        Plan_cache.note_uncacheable ()
+      end
+      else begin
+        (* Buffer -> slot, skipping slot 0: that is [n] itself, whose
+           buffer coincides with a cluster's only through stealing, and
+           replaying through it would recurse. *)
+        let slot_buf =
+          let acc = ref [] in
+          for i = Array.length bindings - 1 downto 1 do
+            match bindings.(i) with
+            | Ir.Arr a -> acc := (a.Ndarray.data, i) :: !acc
+            | Ir.Node m -> (
+                match m.Ir.cache with
+                | Some arr -> acc := (arr.Ndarray.data, i) :: !acc
+                | None -> ())
+          done;
+          !acc
+        in
+        let slot_of_buf b =
+          List.find_map (fun (b', i) -> if b' == b then Some i else None) slot_buf
+        in
+        let ok = ref true in
+        let cparts =
+          List.filter_map
+            (function
+              | Cclosure _ ->
+                  ok := false;
+                  None
+              | Ccompiled cp ->
+                  let slots =
+                    Array.map
+                      (fun cl ->
+                        match slot_of_buf cl.xbuf with
+                        | Some i -> i
+                        | None ->
+                            ok := false;
+                            0)
+                      cp.kclusters
+                  in
+                  Some (strip_cpart cp, slots))
+            compiled
+        in
+        if !ok then begin
+          Plan_cache.add plan_cache key
+            (CPlan
+               { cmode = !mode;
+                 cparts = Array.of_list cparts;
+                 celements = elements;
+                 ccompile = compile_cost;
+               });
+          Plan_cache.note_miss ()
+        end
+        else begin
+          Plan_cache.add plan_cache key CUncacheable;
+          Plan_cache.note_uncacheable ()
+        end
+      end);
+  release_sources n;
+  let total = Clock.now () -. t0 in
+  let self = total -. !child_time in
+  child_time := saved_child +. total;
+  if Trace.enabled () then
+    Trace.emit
+      { Trace.tag =
+          (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
+        elements;
+        seq_seconds = self;
+        bytes_alloc = (if stolen = None then 8 * Shape.num_elements shape else 0);
+        parallel = true;
+        level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
+      };
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Fold                                                                *)

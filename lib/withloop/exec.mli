@@ -11,13 +11,22 @@
     along axis 0 when a part is large enough.
 
     Every force emits one {!Mg_smp.Trace} event carrying the node's own
-    (self) execution time, excluding nested producer forces. *)
+    (self) execution time, excluding nested producer forces.
+
+    Compiled parts are memoised in a process-wide {!Plan_cache}: the
+    second and later forces of a structurally identical graph skip the
+    optimisation pipeline and replay the stored loop nests against
+    freshly bound buffers. *)
 
 open Mg_ndarray
 
 type settings = {
   fusion : Fusion.config;
   factor : bool;  (** Group stencil terms by coefficient (27→4 mults). *)
+  line_buffers : bool;
+      (** Execute recognised box stencils with edge/corner classes by
+          the Fortran port's line-buffering technique: per-row plane
+          sums reused across the inner loop. *)
   pool : unit -> Mg_smp.Domain_pool.t;
   par_threshold : int;
       (** Minimum index-space cardinality before a part is run in
@@ -27,6 +36,10 @@ type settings = {
 
 val force : settings -> Ir.node -> Ndarray.t
 (** Idempotent: cached after the first call. *)
+
+val cache_clear : unit -> unit
+(** Drop every stored plan (statistics are left untouched — use
+    {!Plan_cache.reset_stats}). *)
 
 type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 
@@ -39,6 +52,9 @@ val eval_fold :
 
 val hits_stencil : int ref
 (** Parts executed by the specialised box-stencil kernel. *)
+
+val hits_linebuf : int ref
+(** Parts executed by the line-buffered box-stencil kernel. *)
 
 val hits_copy : int ref
 (** Parts executed as row blits. *)

@@ -25,6 +25,21 @@ let tune_gc =
 let opt_level = ref O3
 let par_threshold = ref 16384
 let split_threshold = ref 2048
+let line_buffers = ref true
+
+let set_line_buffers b = line_buffers := b
+let get_line_buffers () = !line_buffers
+
+let with_line_buffers b f =
+  let saved = !line_buffers in
+  line_buffers := b;
+  match f () with
+  | r ->
+      line_buffers := saved;
+      r
+  | exception e ->
+      line_buffers := saved;
+      raise e
 
 let set_split_threshold n = split_threshold := n
 
@@ -57,6 +72,7 @@ let settings () : Exec.settings =
   in
   { Exec.fusion;
     factor;
+    line_buffers = !line_buffers;
     pool = Mg_smp.Domain_pool.get_global;
     par_threshold = !par_threshold;
   }
@@ -101,6 +117,12 @@ let genarray ?barrier ?default shp parts : t =
 let modarray ?barrier base parts : t = Ir.Node (Ir.modarray ?barrier base (to_parts parts))
 
 let fold ~op ~neutral gen body = Exec.eval_fold (settings ()) ~op ~neutral gen body
+
+let cache_stats () = Plan_cache.stats ()
+
+let cache_clear () =
+  Exec.cache_clear ();
+  Plan_cache.reset_stats ()
 
 let opt_level_of_string = function
   | "O0" | "o0" | "0" -> Some O0

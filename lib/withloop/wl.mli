@@ -88,8 +88,28 @@ val set_split_threshold : int -> unit
     (default 2048); smaller consumers materialise their producers.
     Tests of the splitting machinery set this to 0. *)
 
+val set_line_buffers : bool -> unit
+(** Enable the line-buffered box-stencil kernel (default [true]):
+    recognised stencils with edge/corner classes compute per-row plane
+    sums once and reuse them across the inner loop, the Fortran port's
+    resid/psinv technique. *)
+
+val get_line_buffers : unit -> bool
+val with_line_buffers : bool -> (unit -> 'a) -> 'a
+
 val settings : unit -> Exec.settings
 (** The executor settings corresponding to the current globals. *)
+
+(** {1 Plan cache}
+
+    Compiled with-loop plans are memoised process-wide under structural
+    keys (see {!Plan_cache}); repeated forces of an identical graph
+    shape — every V-cycle iteration after the first — skip the
+    optimisation pipeline entirely. *)
+
+val cache_stats : unit -> Plan_cache.stats
+val cache_clear : unit -> unit
+(** Drop all cached plans and reset the statistics counters. *)
 
 val opt_level_of_string : string -> opt_level option
 val opt_level_to_string : opt_level -> string

@@ -8,6 +8,7 @@ let () =
       Test_withloop.suite;
       Test_fusion.suite;
       Test_exec_oracle.suite;
+      Test_plan_cache.suite;
       Test_arraylib.suite;
       Test_border.suite;
       Test_domain_pool.suite;

@@ -48,7 +48,9 @@ let print_spec s =
 
 let arb_spec = QCheck.make ~print:print_spec gen_spec
 
-let run_spec s =
+(* A fresh graph for the spec each call: forcing the result of a second
+   call exercises the plan cache (same structural key, new IR nodes). *)
+let graph_of_spec s =
   let shp = Array.make s.rank s.extent in
   let src = src_of_seed shp (s.extent + List.length s.terms) in
   let w = Wl.of_ndarray src in
@@ -61,14 +63,24 @@ let run_spec s =
         ()
     else Generator.interior shp s.radius
   in
-  QCheck.assume (not (Generator.is_empty gen));
   let body =
     List.fold_left
       (fun acc (d, c) -> E.(acc + (const c * read_offset w (Array.of_list d))))
       (E.const s.const) s.terms
   in
-  let got = Wl.force (Wl.genarray ~default:0.0 shp [ (gen, body) ]) in
+  (src, gen, Wl.genarray ~default:0.0 shp [ (gen, body) ])
+
+let force_spec s =
+  let _, gen, g = graph_of_spec s in
+  QCheck.assume (not (Generator.is_empty gen));
+  Wl.force g
+
+let run_spec s =
+  let src, gen, g = graph_of_spec s in
+  QCheck.assume (not (Generator.is_empty gen));
+  let got = Wl.force g in
   (* Oracle: straightforward per-element evaluation. *)
+  let shp = Ndarray.shape src in
   let want =
     Ndarray.init shp (fun iv ->
         if Generator.mem gen iv then
@@ -82,6 +94,12 @@ let run_spec s =
 let qcheck_linear_bodies =
   QCheck.Test.make ~name:"compiled linear with-loops match per-element oracle" ~count:300
     arb_spec run_spec
+
+(* The same property on the warm path: the first run seeds the plan
+   cache, the second replays against the same oracle. *)
+let qcheck_replay_matches_oracle =
+  QCheck.Test.make ~name:"cached replays match per-element oracle" ~count:150 arb_spec
+    (fun s -> run_spec s && run_spec s)
 
 let qcheck_all_opt_levels =
   QCheck.Test.make ~name:"random bodies identical across opt levels" ~count:100 arb_spec
@@ -153,6 +171,7 @@ let test_force_twice_same_array () =
 let suite =
   ( "exec_oracle",
     [ QCheck_alcotest.to_alcotest qcheck_linear_bodies;
+      QCheck_alcotest.to_alcotest qcheck_replay_matches_oracle;
       QCheck_alcotest.to_alcotest qcheck_all_opt_levels;
       QCheck_alcotest.to_alcotest qcheck_scaled_reads;
       Alcotest.test_case "recompute after recycle" `Quick test_recompute_after_recycle;

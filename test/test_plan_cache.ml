@@ -1,0 +1,177 @@
+(* Plan-cache correctness: replays must be indistinguishable from cold
+   compilation.  The dangerous failure mode is a key collision — two
+   graphs that compile differently but hash to the same plan — so the
+   tests drive pairs of same-shape graphs that differ only in details
+   the key must capture (coefficient values, offsets, optimisation
+   configuration) and check each gets its own answer. *)
+
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+
+let src_of_seed shp seed =
+  let st = Mg_nasrand.Nasrand.make ~seed:(float_of_int (4200 + seed)) () in
+  Ndarray.init shp (fun _ -> Mg_nasrand.Nasrand.next st -. 0.5)
+
+(* A fresh delayed stencil graph; [c] is the only varying coefficient. *)
+let stencil_graph src c =
+  let shp = Ndarray.shape src in
+  let w = Wl.of_ndarray src in
+  let gen = Generator.interior shp 1 in
+  let body =
+    E.(
+      (const c * read_offset w [| 0; 0 |])
+      + (const 0.5 * (read_offset w [| 1; 0 |] + read_offset w [| -1; 0 |]))
+      + (const 0.25 * (read_offset w [| 0; 1 |] + read_offset w [| 0; -1 |])))
+  in
+  Wl.genarray ~default:0.0 shp [ (gen, body) ]
+
+let oracle src c =
+  let shp = Ndarray.shape src in
+  let gen = Generator.interior shp 1 in
+  Ndarray.init shp (fun iv ->
+      if Generator.mem gen iv then
+        (c *. Ndarray.get src iv)
+        +. (0.5 *. (Ndarray.get src [| iv.(0) + 1; iv.(1) |] +. Ndarray.get src [| iv.(0) - 1; iv.(1) |]))
+        +. (0.25 *. (Ndarray.get src [| iv.(0); iv.(1) + 1 |] +. Ndarray.get src [| iv.(0); iv.(1) - 1 |]))
+      else 0.0)
+
+let check_exact msg a b = Alcotest.(check bool) msg true (Ndarray.equal a b)
+
+let test_replay_identical () =
+  Wl.cache_clear ();
+  let src = src_of_seed [| 20; 20 |] 1 in
+  let cold = Wl.force (stencil_graph src 2.0) in
+  let s1 = Wl.cache_stats () in
+  let warm = Wl.force (stencil_graph src 2.0) in
+  let s2 = Wl.cache_stats () in
+  check_exact "replay bitwise-identical to cold run" cold warm;
+  Alcotest.(check bool) "second force was a cache hit" true
+    (s2.Plan_cache.hits > s1.Plan_cache.hits)
+
+let test_coefficients_do_not_collide () =
+  Wl.cache_clear ();
+  let src = src_of_seed [| 20; 20 |] 2 in
+  (* Same structure, different coefficient: the second force must not
+     replay the first plan's compiled constants. *)
+  let a = Wl.force (stencil_graph src 2.0) in
+  let b = Wl.force (stencil_graph src (-3.25)) in
+  Alcotest.(check bool) "coeff 2.0 correct" true (Ndarray.max_abs_diff a (oracle src 2.0) < 1e-12);
+  Alcotest.(check bool) "coeff -3.25 correct" true
+    (Ndarray.max_abs_diff b (oracle src (-3.25)) < 1e-12);
+  (* And the structurally identical repeats do hit. *)
+  let s1 = Wl.cache_stats () in
+  ignore (Wl.force (stencil_graph src 2.0));
+  ignore (Wl.force (stencil_graph src (-3.25)));
+  let s2 = Wl.cache_stats () in
+  Alcotest.(check int) "both repeats hit" (s1.Plan_cache.hits + 2) s2.Plan_cache.hits
+
+let test_offsets_do_not_collide () =
+  Wl.cache_clear ();
+  let shp = [| 16; 16 |] in
+  let src = src_of_seed shp 3 in
+  let w = Wl.of_ndarray src in
+  let gen = Generator.interior shp 1 in
+  let graph d = Wl.genarray ~default:0.0 shp [ (gen, E.read_offset w d) ] in
+  let a = Wl.force (graph [| 1; 0 |]) in
+  let b = Wl.force (graph [| 0; 1 |]) in
+  let want d =
+    Ndarray.init shp (fun iv ->
+        if Generator.mem gen iv then Ndarray.get src (Shape.add iv d) else 0.0)
+  in
+  check_exact "offset [1;0] correct" a (want [| 1; 0 |]);
+  check_exact "offset [0;1] correct" b (want [| 0; 1 |])
+
+let test_opt_levels_do_not_collide () =
+  Wl.cache_clear ();
+  let src = src_of_seed [| 20; 20 |] 4 in
+  let want = oracle src 1.5 in
+  (* Interleave opt levels over the same structure: each level has its
+     own env fingerprint, so each compiles once and then hits. *)
+  List.iter
+    (fun level ->
+      let got = Wl.with_opt_level level (fun () -> Wl.force (stencil_graph src 1.5)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "correct at %s" (Wl.opt_level_to_string level))
+        true
+        (Ndarray.max_abs_diff got want < 1e-12))
+    [ Wl.O0; Wl.O3; Wl.O1; Wl.O0; Wl.O2; Wl.O3 ]
+
+let test_threads_round_trip () =
+  Wl.cache_clear ();
+  let src = src_of_seed [| 24; 24 |] 5 in
+  let a = Wl.force (stencil_graph src 0.75) in
+  let saved = Wl.get_threads () in
+  Fun.protect
+    ~finally:(fun () -> Wl.set_threads saved)
+    (fun () ->
+      (* The env omits thread count: the parallel split happens at
+         execution time, so a plan compiled under one pool size must
+         replay — bitwise-identically — under another. *)
+      Wl.set_threads 1;
+      let s1 = Wl.cache_stats () in
+      let b = Wl.force (stencil_graph src 0.75) in
+      Wl.set_threads 4;
+      let c = Wl.force (stencil_graph src 0.75) in
+      let s2 = Wl.cache_stats () in
+      check_exact "1 thread replay identical" a b;
+      check_exact "4 thread replay identical" a c;
+      Alcotest.(check int) "both thread settings hit" (s1.Plan_cache.hits + 2) s2.Plan_cache.hits)
+
+let test_line_buffers_env_split () =
+  Wl.cache_clear ();
+  let shp = [| 10; 10; 10 |] in
+  let src = src_of_seed shp 6 in
+  let force_with lb =
+    Wl.with_line_buffers lb (fun () ->
+        Wl.force (Mg_core.Mg_sac.relax_kernel Mg_core.Stencil.a (Wl.of_ndarray src)))
+  in
+  let plain = force_with false in
+  let buffered = force_with true in
+  (* Different kernels, different summation grouping — tolerance, not
+     bitwise equality. *)
+  Alcotest.(check bool) "line-buffered kernel agrees" true
+    (Ndarray.max_abs_diff plain buffered < 1e-12);
+  (* Each setting replays from its own entry, values stable. *)
+  check_exact "plain replay stable" plain (force_with false);
+  check_exact "buffered replay stable" buffered (force_with true)
+
+let test_cache_clear_resets () =
+  Wl.cache_clear ();
+  let src = src_of_seed [| 12; 12 |] 7 in
+  ignore (Wl.force (stencil_graph src 1.0));
+  ignore (Wl.force (stencil_graph src 1.0));
+  let s = Wl.cache_stats () in
+  Alcotest.(check bool) "recorded a hit" true (s.Plan_cache.hits >= 1);
+  Wl.cache_clear ();
+  let z = Wl.cache_stats () in
+  Alcotest.(check int) "hits reset" 0 z.Plan_cache.hits;
+  Alcotest.(check int) "misses reset" 0 z.Plan_cache.misses;
+  (* After a clear the same graph compiles afresh — still correct. *)
+  let again = Wl.force (stencil_graph src 1.0) in
+  Alcotest.(check bool) "recompiles correctly" true
+    (Ndarray.max_abs_diff again (oracle src 1.0) < 1e-12)
+
+(* The qcheck spec machinery from the oracle suite, replayed: any
+   random linear with-loop forced twice must produce bitwise-identical
+   results, with the second force served by the cache whenever the
+   first stored a plan. *)
+let qcheck_replay_matches_cold =
+  QCheck.Test.make ~name:"random graphs replay bitwise-identically" ~count:150
+    Test_exec_oracle.arb_spec
+    (fun s ->
+      let cold = Test_exec_oracle.force_spec s in
+      let warm = Test_exec_oracle.force_spec s in
+      Ndarray.equal cold warm)
+
+let suite =
+  ( "plan_cache",
+    [ Alcotest.test_case "replay identical to cold run" `Quick test_replay_identical;
+      Alcotest.test_case "coefficients do not collide" `Quick test_coefficients_do_not_collide;
+      Alcotest.test_case "offsets do not collide" `Quick test_offsets_do_not_collide;
+      Alcotest.test_case "opt levels do not collide" `Quick test_opt_levels_do_not_collide;
+      Alcotest.test_case "thread round-trip hits, identical" `Quick test_threads_round_trip;
+      Alcotest.test_case "line-buffer setting splits the env" `Quick test_line_buffers_env_split;
+      Alcotest.test_case "cache_clear resets store and stats" `Quick test_cache_clear_resets;
+      QCheck_alcotest.to_alcotest qcheck_replay_matches_cold;
+    ] )
