@@ -151,6 +151,13 @@ let () =
         ("suite", Json.String "sac_mg_bench");
         ("unix_time", Json.Float (Unix.time ()));
         ("env", Json.String (Env.description ()));
+        ("sched_policy", Json.String (Mg_smp.Sched_policy.to_string (Wl.get_sched_policy ())));
+        ("backend", Json.String (Mg_withloop.Backend.name (Wl.get_backend ())));
+        ("kernels",
+         Json.Obj
+           (List.map
+              (fun (name, count) -> ("hits_" ^ name, Json.Int count))
+              (Mg_withloop.Exec.counters ())));
         ("plan_cache",
          Json.Obj
            [ ("hits", Json.Int cstats.Mg_withloop.Plan_cache.hits);

@@ -27,6 +27,24 @@ let classes_conv =
       fun ppf cs ->
         Format.pp_print_string ppf (String.concat "," (List.map (fun (c : Classes.t) -> c.Classes.name) cs)) )
 
+let sched_conv =
+  let parse s =
+    match Mg_smp.Sched_policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduling policy %S (block|chunked[:M])" s))
+  in
+  Cmdliner.Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Mg_smp.Sched_policy.to_string p))
+
+let sched_arg =
+  Cmdliner.Arg.(
+    value
+    & opt sched_conv Mg_smp.Sched_policy.default
+    & info [ "sched" ] ~docv:"POLICY"
+        ~doc:
+          "Loop scheduling policy for parallel with-loop parts: block (one static chunk per \
+           worker) or chunked:M (M dynamically claimed chunks per worker).")
+
 let header () =
   Printf.printf "# %s\n# %s\n" (Mg_bench_util.Bench_util.Env.description ())
     (let t = Unix.gmtime (Unix.time ()) in

@@ -24,10 +24,12 @@ let paper_p10 (cls : Classes.t) impl =
   | "A", Driver.C -> Some 9.0
   | _ -> None
 
-let run classes max_procs csv =
+let run classes max_procs sched csv =
+  Mg_withloop.Wl.with_sched_policy sched @@ fun () ->
   Exp_common.header ();
   Printf.printf
-    "# Figure 12: simulated speedups vs own sequential time (trace-driven SMP model)\n\n";
+    "# Figure 12: simulated speedups vs own sequential time (trace-driven SMP model)\n";
+  Printf.printf "# with-loop scheduling policy: %s\n\n" (Mg_smp.Sched_policy.to_string sched);
   let all_rows = ref [] in
   List.iter
     (fun (cls : Classes.t) ->
@@ -78,6 +80,6 @@ let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" 
 let cmd =
   Cmd.v
     (Cmd.info "fig12" ~doc:"reproduce Fig. 12: speedups vs own sequential time (simulated SMP)")
-    Term.(const run $ classes_arg $ procs_arg $ csv_arg)
+    Term.(const run $ classes_arg $ procs_arg $ Exp_common.sched_arg $ csv_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,9 +10,11 @@ open Mg_core
 module Table = Mg_bench_util.Bench_util.Table
 module Smp_sim = Mg_smp.Smp_sim
 
-let run classes max_procs csv =
+let run classes max_procs sched csv =
+  Mg_withloop.Wl.with_sched_policy sched @@ fun () ->
   Exp_common.header ();
-  Printf.printf "# Figure 13: simulated speedups vs sequential Fortran-77 time\n\n";
+  Printf.printf "# Figure 13: simulated speedups vs sequential Fortran-77 time\n";
+  Printf.printf "# with-loop scheduling policy: %s\n\n" (Mg_smp.Sched_policy.to_string sched);
   let all_rows = ref [] in
   List.iter
     (fun (cls : Classes.t) ->
@@ -128,6 +130,6 @@ let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" 
 let cmd =
   Cmd.v
     (Cmd.info "fig13" ~doc:"reproduce Fig. 13: speedups vs sequential Fortran-77 (simulated SMP)")
-    Term.(const run $ classes_arg $ procs_arg $ csv_arg)
+    Term.(const run $ classes_arg $ procs_arg $ Exp_common.sched_arg $ csv_arg)
 
 let () = exit (Cmd.eval' cmd)

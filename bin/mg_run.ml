@@ -9,7 +9,7 @@
 open Mg_core
 module Trace = Mg_smp.Trace
 
-let run impl cls opt threads profile custom_nx custom_nit =
+let run impl cls opt threads sched backend profile custom_nx custom_nit =
   let cls =
     match (custom_nx, custom_nit) with
     | Some nx, nit ->
@@ -17,7 +17,7 @@ let run impl cls opt threads profile custom_nx custom_nit =
           ~nit:(Option.value nit ~default:4)
     | None, _ -> cls
   in
-  let result = Driver.run ~opt ~threads ~trace:profile ~impl ~cls () in
+  let result = Driver.run ~opt ~threads ~sched ~backend ~trace:profile ~impl ~cls () in
   Format.printf "@[%a@]@." Driver.pp_result result;
   if profile then begin
     Format.printf "@.Per-operation trace (%d events):@." (List.length result.Driver.events);
@@ -72,6 +72,34 @@ let opt_arg =
 let threads_arg =
   Arg.(value & opt int 1 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker domains for with-loop execution.")
 
+let sched_conv =
+  let parse s =
+    match Mg_smp.Sched_policy.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduling policy %S (block|chunked[:M])" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Mg_smp.Sched_policy.to_string p))
+
+let sched_arg =
+  Arg.(value & opt sched_conv Mg_smp.Sched_policy.default
+       & info [ "sched" ] ~docv:"POLICY"
+           ~doc:"Loop scheduling policy for parallel with-loop parts: block (one static \
+                 chunk per worker) or chunked:M (M dynamically claimed chunks per worker).")
+
+let backend_conv =
+  let parse s =
+    match Mg_withloop.Backend.by_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S (pool|smp_sim)" s))
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_string ppf (Mg_withloop.Backend.name b))
+
+let backend_arg =
+  Arg.(value & opt backend_conv Mg_withloop.Backend.default
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Piece-scheduling backend: pool (real worker domains) or smp_sim (the same \
+                 split run sequentially with per-piece trace events).")
+
 let profile_arg = Arg.(value & flag & info [ "profile" ] ~doc:"Record and print the operation trace.")
 
 let nx_arg =
@@ -84,6 +112,6 @@ let cmd =
   let doc = "run the NAS benchmark MG (SAC-style, Fortran-77-style or C-style)" in
   Cmd.v
     (Cmd.info "mg_run" ~doc)
-    Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ profile_arg $ nx_arg $ nit_arg)
+    Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ sched_arg $ backend_arg $ profile_arg $ nx_arg $ nit_arg)
 
 let () = exit (Cmd.eval' cmd)

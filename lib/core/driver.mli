@@ -23,13 +23,16 @@ type result = {
 val run :
   ?opt:Wl.opt_level ->
   ?threads:int ->
+  ?sched:Sched_policy.t ->
+  ?backend:Backend.t ->
   ?trace:bool ->
   impl:impl ->
   cls:Classes.t ->
   unit ->
   result
-(** Defaults: current global opt level, 1 thread, no trace.  The
-    global with-loop configuration is restored afterwards. *)
+(** Defaults: current global opt level, 1 thread, current scheduling
+    policy and backend, no trace.  The global with-loop configuration
+    is restored afterwards. *)
 
 val traced_run : impl:impl -> cls:Classes.t -> result
 (** [run ~trace:true] at sequential settings — the input for

@@ -2,6 +2,7 @@ type job = {
   body : int -> int -> unit;
   ranges : (int * int) array;
   next : int Atomic.t;
+  failed : bool Atomic.t;  (* set on first exception: stop claiming *)
   mutable running : int;  (* participants still working, incl. caller *)
   mutable exn : exn option;
 }
@@ -22,13 +23,14 @@ let size t = t.n
 let run_chunks t job =
   let nranges = Array.length job.ranges in
   let continue = ref true in
-  while !continue do
+  while !continue && not (Atomic.get job.failed) do
     let k = Atomic.fetch_and_add job.next 1 in
     if k >= nranges then continue := false
     else begin
       let lo, hi = job.ranges.(k) in
       try job.body lo hi
       with e ->
+        Atomic.set job.failed true;
         Mutex.lock t.m;
         if job.exn = None then job.exn <- Some e;
         Mutex.unlock t.m
@@ -83,21 +85,15 @@ let create n =
 
 let sequential = create 1
 
-let make_ranges ~lo ~hi parts =
-  let len = hi - lo in
-  let parts = max 1 (min parts len) in
-  Array.init parts (fun k ->
-      let a = lo + (len * k / parts) and b = lo + (len * (k + 1) / parts) in
-      (a, b))
-
-let parallel_for t ~lo ~hi body =
+let parallel_for ?(policy = Sched_policy.default) t ~lo ~hi body =
   if hi <= lo then ()
   else if t.n = 1 || hi - lo = 1 then body lo hi
   else begin
     let job =
       { body;
-        ranges = make_ranges ~lo ~hi t.n;
+        ranges = Sched_policy.ranges policy ~workers:t.n ~lo ~hi;
         next = Atomic.make 0;
+        failed = Atomic.make false;
         running = 1 + List.length t.domains;
         exn = None;
       }

@@ -9,7 +9,8 @@
 
     Work items must not raise: an escaping exception from worker code
     is re-raised on the caller after the barrier, but the pool remains
-    usable. *)
+    usable.  Once a chunk has failed, unclaimed chunks of the same job
+    are abandoned (in-flight chunks on other domains still finish). *)
 
 type t
 
@@ -19,11 +20,13 @@ val create : int -> t
 
 val size : t -> int
 
-val parallel_for : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
-(** [parallel_for pool ~lo ~hi body] partitions the half-open range
-    [lo, hi) into [size pool] near-equal contiguous chunks and runs
-    [body chunk_lo chunk_hi] for each, concurrently.  Returns when all
-    chunks have completed. *)
+val parallel_for :
+  ?policy:Sched_policy.t -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for ?policy pool ~lo ~hi body] partitions the half-open
+    range [lo, hi) into the chunks prescribed by [policy] (default
+    {!Sched_policy.default}: one contiguous block per domain) and runs
+    [body chunk_lo chunk_hi] for each, concurrently; participants claim
+    chunks dynamically.  Returns when all chunks have completed. *)
 
 val sequential : t
 (** A pool of size 1 that never spawns domains. *)

@@ -1,0 +1,37 @@
+type t =
+  | Static_block
+  | Dynamic_chunked of int
+
+let default = Static_block
+
+let chunk_factor = function
+  | Static_block -> 1
+  | Dynamic_chunked m -> max 1 m
+
+let ranges t ~workers ~lo ~hi =
+  let len = hi - lo in
+  if len <= 0 then [||]
+  else begin
+    let n = max 1 (min (workers * chunk_factor t) len) in
+    Array.init n (fun k ->
+        let a = lo + (len * k / n) and b = lo + (len * (k + 1) / n) in
+        (a, b))
+  end
+
+let to_string = function
+  | Static_block -> "block"
+  | Dynamic_chunked m -> Printf.sprintf "chunked:%d" m
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "block" | "static" -> Some Static_block
+  | "chunked" | "dynamic" -> Some (Dynamic_chunked 4)
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "chunked"
+             || String.sub s 0 i = "dynamic" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some m when m >= 1 -> Some (Dynamic_chunked m)
+          | _ -> None)
+      | _ -> None)

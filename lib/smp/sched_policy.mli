@@ -1,0 +1,37 @@
+(** Loop-scheduling policies for {!Domain_pool.parallel_for}.
+
+    The paper's §5 multithreaded WITH-loop discussion distinguishes
+    static scheduling (each processor owns one contiguous block — the
+    lowest possible per-loop overhead, the right choice for the
+    perfectly regular MG operators) from dynamic scheduling (the range
+    is cut into more chunks than processors and chunks are claimed on
+    demand — tolerates load imbalance at the price of more claim
+    traffic).  Both are expressed as a chunk-shape decision; the pool
+    always lets participants claim chunks dynamically, so
+    {!Static_block} degenerates to exactly one chunk per participant. *)
+
+type t =
+  | Static_block  (** One contiguous chunk per participating domain. *)
+  | Dynamic_chunked of int
+      (** [Dynamic_chunked m]: [m] chunks per participating domain,
+          claimed dynamically ([m >= 1]). *)
+
+val default : t
+(** {!Static_block} — the paper's choice for regular with-loops. *)
+
+val chunk_factor : t -> int
+(** Chunks per worker this policy requests (1 for {!Static_block}). *)
+
+val ranges : t -> workers:int -> lo:int -> hi:int -> (int * int) array
+(** Cut the half-open range [lo, hi) into the policy's chunks: at most
+    [workers * chunk_factor] near-equal contiguous ranges (never more
+    than the range length, never fewer than one for a non-empty
+    range).  Concatenated in order, the ranges cover [lo, hi) exactly
+    once. *)
+
+val to_string : t -> string
+(** ["block"] or ["chunked:<m>"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; also accepts ["static"], ["dynamic"] and
+    bare ["chunked"] (chunk factor 4). *)

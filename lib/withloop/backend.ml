@@ -1,0 +1,157 @@
+open Mg_ndarray
+module Trace = Mg_smp.Trace
+module Clock = Mg_smp.Clock
+module Domain_pool = Mg_smp.Domain_pool
+module Sched_policy = Mg_smp.Sched_policy
+
+(* Execution context a backend receives per force: the worker pool,
+   the scheduling policy deciding the chunk shape, and the minimum
+   cardinality below which parts stay sequential. *)
+type ctx = { pool : Domain_pool.t; sched : Sched_policy.t; par_threshold : int }
+
+module type S = sig
+  val name : string
+
+  val run_parts : ctx -> Plan.compiled list -> out:Ndarray.t -> unit
+  (** Execute the compiled parts of one force into [out].  Parts run
+      in order; pieces of one part may run concurrently. *)
+end
+
+type t = (module S)
+
+(* ------------------------------------------------------------------ *)
+(* Shared piece execution — identical for every backend, so the
+   bitwise-identity oracle holds across backends by construction.      *)
+
+(* A part prepared for piecewise execution: closures are built once per
+   part, not once per piece. *)
+type prepared = Pc of Plan.cpart | Pf of (Shape.t -> float)
+
+let prepare (c : Plan.compiled) =
+  match c with
+  | Plan.Ccompiled cp -> Pc cp
+  | Plan.Cclosure (gen, _, body) ->
+      if Sys.getenv_opt "WL_DEBUG_CFUN" <> None then
+        Format.eprintf "CFUN part %a body %a@." Generator.pp gen Ir.pp_expr body;
+      Pf (Lower.closure_of body)
+
+let run_closure_piece (out : Ndarray.t) (f : Shape.t -> float) (g : Generator.t) =
+  incr Kernel.hits_cfun;
+  let shape = Ndarray.shape out in
+  Generator.iter g (fun iv -> Ndarray.set_flat out (Shape.ravel ~shape iv) (f iv))
+
+(* Execute a compiled part over one coordinate band.  [piece] must have
+   the same step/width as [cp.kgen] with its lower bound displaced by a
+   whole number of outer-axis steps (what [Generator.split_axis]
+   produces), so every layout shifts by [koff] steps along axis 0. *)
+let run_cpart_piece (out : Ndarray.t) (cp : Plan.cpart) ~(piece : Generator.t) ~whole =
+  let kgen = cp.Plan.kgen in
+  let koff =
+    if whole || Generator.rank kgen = 0 then 0
+    else (piece.Generator.lb.(0) - kgen.Generator.lb.(0)) / kgen.Generator.step.(0)
+  in
+  let counts = if whole then cp.Plan.kcounts else Generator.counts piece in
+  let clusters =
+    if koff = 0 then cp.Plan.kclusters
+    else
+      Array.map
+        (fun cl -> Cluster.shift_base cl (koff * cl.Cluster.xsteps.(0)))
+        cp.Plan.kclusters
+  in
+  let obase = cp.Plan.kobase + (koff * cp.Plan.kosteps.(0)) in
+  match cp.Plan.kkernel with
+  | Some k ->
+      let k = if koff = 0 then k else Kernel.rebind_k3 clusters ~koff k in
+      Kernel.run_k3 ~const:cp.Plan.kconst k clusters out.Ndarray.data ~obase
+        ~osteps:cp.Plan.kosteps ~counts
+  | None ->
+      Kernel.run_lin_generic ~const:cp.Plan.kconst clusters out.Ndarray.data ~obase
+        ~osteps:cp.Plan.kosteps ~counts
+
+let run_piece (out : Ndarray.t) (p : prepared) ~(piece : Generator.t) ~whole =
+  match p with
+  | Pc cp -> run_cpart_piece out cp ~piece ~whole
+  | Pf f -> run_closure_piece out f piece
+
+(* Split one part for the context's pool and policy; [run_split] owns
+   the actual piece scheduling (pool dispatch or simulation). *)
+let run_compiled ctx ~run_split (out : Ndarray.t) (c : Plan.compiled) =
+  let gen = Plan.compiled_gen c and card = Plan.compiled_card c in
+  if card > 0 then begin
+    let nworkers = Domain_pool.size ctx.pool in
+    let par = card >= ctx.par_threshold && nworkers > 1 && Generator.rank gen > 0 in
+    let p = prepare c in
+    if par then begin
+      let npieces = nworkers * Sched_policy.chunk_factor ctx.sched in
+      let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:npieces) in
+      run_split ctx pieces (fun i -> run_piece out p ~piece:pieces.(i) ~whole:false)
+    end
+    else run_piece out p ~piece:gen ~whole:true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The real backend: pieces dispatched onto the domain pool.  The
+   policy shapes the chunks ([Static_block]: one per participant;
+   [Dynamic_chunked m]: m finer chunks per worker, claimed
+   dynamically), and is passed through so the pool's claim granularity
+   matches the split. *)
+
+module Pool : S = struct
+  let name = "pool"
+
+  let run_parts ctx parts ~out =
+    List.iter
+      (run_compiled ctx out ~run_split:(fun ctx pieces body ->
+           Domain_pool.parallel_for ~policy:ctx.sched ctx.pool ~lo:0
+             ~hi:(Array.length pieces) (fun lo hi ->
+               for i = lo to hi - 1 do
+                 body i
+               done)))
+      parts
+end
+
+(* ------------------------------------------------------------------ *)
+(* The tracing backend: the same split executed sequentially on the
+   calling domain, emitting one trace event per piece.  Feeding these
+   per-piece events to the SMP cost model lets the Fig. 12/13 harness
+   study scheduling policies without real parallel hardware — and
+   because the split and the piece runner are shared with [Pool], the
+   outputs are bitwise identical. *)
+
+module Smp_sim : S = struct
+  let name = "smp_sim"
+
+  let run_parts ctx parts ~out =
+    List.iter
+      (run_compiled ctx out ~run_split:(fun _ctx pieces body ->
+           for i = 0 to Array.length pieces - 1 do
+             if Trace.enabled () then begin
+               let t0 = Clock.now () in
+               body i;
+               let piece = pieces.(i) in
+               Trace.emit
+                 { Trace.tag = "backend:piece";
+                   elements = Generator.cardinal piece;
+                   seq_seconds = Clock.now () -. t0;
+                   bytes_alloc = 0;
+                   parallel = false;
+                   level_extent =
+                     (let c = Generator.counts piece in
+                      if Array.length c = 0 then 0 else c.(0));
+                 }
+             end
+             else body i
+           done))
+      parts
+end
+
+let default : t = (module Pool)
+
+let by_name = function
+  | "pool" | "domains" -> Some (module Pool : S)
+  | "smp_sim" | "sim" -> Some (module Smp_sim : S)
+  | _ -> None
+
+let name (b : t) =
+  let module B = (val b) in
+  B.name

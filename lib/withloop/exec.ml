@@ -2,6 +2,15 @@ open Mg_ndarray
 module Trace = Mg_smp.Trace
 module Clock = Mg_smp.Clock
 module Domain_pool = Mg_smp.Domain_pool
+module Sched_policy = Mg_smp.Sched_policy
+
+(* The executor driver.  The heavy lifting lives in the pipeline
+   stages — Lower (bodies to plans), Cluster (reads to flat-index
+   clusters), Kernel (recognition and loop nests), Plan (compiled
+   parts and cached plans), Backend (piece scheduling), Mempool
+   (buffer recycling).  This module wires them: it owns graph
+   traversal, the plan-cache fast path, output-buffer production and
+   trace emission. *)
 
 type settings = {
   fusion : Fusion.config;
@@ -9,1133 +18,37 @@ type settings = {
   line_buffers : bool;
   pool : unit -> Domain_pool.t;
   par_threshold : int;
+  sched : Sched_policy.t;
+  backend : Backend.t;
 }
 
 type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 
-(* ------------------------------------------------------------------ *)
-(* Affine view of a generator: positions along axis j are
-   c0 + k * astep for k < count.  Exists iff every axis has width 1
-   (dense axes have width = step = 1 by construction). *)
-
-type axes = { c0 : int array; astep : int array; counts : int array }
-
-let axes_of_gen (g : Generator.t) : axes option =
-  if Array.exists (fun w -> w <> 1) g.Generator.width then None
-  else
-    Some
-      { c0 = Array.copy g.Generator.lb;
-        astep = Array.copy g.Generator.step;
-        counts = Generator.counts g;
-      }
+(* Path counters live with the kernels; re-exported here for
+   compatibility with existing tests and diagnostics. *)
+let hits_stencil = Kernel.hits_stencil
+let hits_linebuf = Kernel.hits_linebuf
+let hits_copy = Kernel.hits_copy
+let hits_generic = Kernel.hits_generic
+let hits_interp = Kernel.hits_interp
+let hits_cfun = Kernel.hits_cfun
+let counters = Kernel.counters
+let reset_counters = Kernel.reset_counters
 
 (* ------------------------------------------------------------------ *)
-(* Closure interpretation (fallback path)                              *)
+(* Backend dispatch                                                    *)
 
-let rec closure_of (body : Ir.expr) : Shape.t -> float =
-  match body with
-  | Ir.Const c -> fun _ -> c
-  | Ir.Read (Ir.Arr a, m) ->
-      if Ixmap.is_identity m then fun iv -> Ndarray.get a iv
-      else fun iv -> Ndarray.get a (Ixmap.apply m iv)
-  | Ir.Read (Ir.Node _, _) ->
-      invalid_arg "Exec: unforced node reached the interpreter (fusion bug)"
-  | Ir.Neg e ->
-      let f = closure_of e in
-      fun iv -> -.f iv
-  | Ir.Sqrt e ->
-      let f = closure_of e in
-      fun iv -> Float.sqrt (f iv)
-  | Ir.Absf e ->
-      let f = closure_of e in
-      fun iv -> Float.abs (f iv)
-  | Ir.Add (a, b) ->
-      let fa = closure_of a and fb = closure_of b in
-      fun iv -> fa iv +. fb iv
-  | Ir.Sub (a, b) ->
-      let fa = closure_of a and fb = closure_of b in
-      fun iv -> fa iv -. fb iv
-  | Ir.Mul (a, b) ->
-      let fa = closure_of a and fb = closure_of b in
-      fun iv -> fa iv *. fb iv
-  | Ir.Divf (a, b) ->
-      let fa = closure_of a and fb = closure_of b in
-      fun iv -> fa iv /. fb iv
-  | Ir.Opaque f -> f
+let ctx_of st =
+  { Backend.pool = st.pool (); sched = st.sched; par_threshold = st.par_threshold }
+
+let exec_parts st (out : Ndarray.t) (parts : Plan.compiled list) =
+  let module B = (val st.backend : Backend.S) in
+  B.run_parts (ctx_of st) parts ~out
 
 (* ------------------------------------------------------------------ *)
-(* Linear plans and cluster compilation                                *)
+(* Reference counting: consume one edge from [n] to each of its
+   sources; recycle producer caches whose last consumer this was.      *)
 
-type plan =
-  | Plin of { const : float; groups : (float * Linform.read list) list; body : Ir.expr }
-  | Pfun of (Shape.t -> float)
-
-let make_plan st (body : Ir.expr) : plan =
-  match Linform.of_expr body with
-  | Some lf ->
-      let groups =
-        if st.factor then Linform.factor lf
-        else List.map (fun (c, r) -> (c, [ r ])) lf.Linform.terms
-      in
-      Plin { const = lf.Linform.const; groups; body }
-  | None -> Pfun (closure_of body)
-
-type cluster = {
-  cbuf : Ndarray.buffer;
-  cbase : int;
-  csteps : int array;
-  mutable cgroups : (float * int list ref) list;  (* building representation *)
-}
-
-(* Compiled form: coefficient and delta arrays are kept flat and
-   parallel so the per-element loop touches no boxed tuples.
-   [xstrides] are the source array's own strides — the units the
-   neighbour deltas are expressed in, which kernel recognition needs. *)
-type ccluster = {
-  xbuf : Ndarray.buffer;
-  xbase : int;
-  xsteps : int array;
-  xstrides : int array;
-  xcoeffs : float array;
-  xdeltas : int array array;
-}
-
-(* Compute flat base and per-axis flat steps of one read on the given
-   affine axes; None when the map's division does not line up. *)
-let read_layout (ax : axes) (r : Linform.read) :
-    (Ndarray.buffer * int array * int * int array) option =
-  let arr = r.Linform.arr in
-  let strides = arr.Ndarray.strides in
-  let src_shape = Ndarray.shape arr in
-  let m = r.Linform.map in
-  let rank = Array.length ax.c0 in
-  let base = ref 0 and steps = Array.make rank 0 in
-  let ok = ref true in
-  for j = 0 to rank - 1 do
-    let s = m.Ixmap.scale.(j) and o = m.Ixmap.offset.(j) and d = m.Ixmap.div.(j) in
-    let v0 = (s * ax.c0.(j)) + o in
-    (* A single-coordinate axis never advances, so only the base needs
-       to divide exactly. *)
-    let step_exact = ax.counts.(j) <= 1 || s * ax.astep.(j) mod d = 0 in
-    if v0 < 0 || v0 mod d <> 0 || not step_exact then ok := false
-    else begin
-      let first = v0 / d in
-      let kstep = if ax.counts.(j) <= 1 then 0 else s * ax.astep.(j) / d in
-      let last = first + ((ax.counts.(j) - 1) * kstep) in
-      if first < 0 || last >= src_shape.(j) then
-        invalid_arg
-          (Printf.sprintf "Exec: read image [%d,%d] escapes source shape %s on axis %d" first
-             last (Shape.to_string src_shape) j);
-      base := !base + (strides.(j) * first);
-      steps.(j) <- strides.(j) * kstep
-    end
-  done;
-  if !ok then Some (arr.Ndarray.data, arr.Ndarray.strides, !base, steps) else None
-
-let clusterize (ax : axes) groups : ccluster array option =
-  let clusters : (cluster * int array) list ref = ref [] in
-  let ok = ref true in
-  List.iter
-    (fun (coeff, reads) ->
-      List.iter
-        (fun r ->
-          match read_layout ax r with
-          | None -> ok := false
-          | Some (buf, strides, base, steps) ->
-              if !ok then begin
-                let existing =
-                  List.find_opt
-                    (fun (c, _) -> c.cbuf == buf && Shape.equal c.csteps steps)
-                    !clusters
-                in
-                let c =
-                  match existing with
-                  | Some (c, _) -> c
-                  | None ->
-                      let c = { cbuf = buf; cbase = base; csteps = steps; cgroups = [] } in
-                      clusters := !clusters @ [ (c, strides) ];
-                      c
-                in
-                let delta = base - c.cbase in
-                match List.assoc_opt coeff c.cgroups with
-                | Some cell -> cell := delta :: !cell
-                | None -> c.cgroups <- c.cgroups @ [ (coeff, ref [ delta ]) ]
-              end)
-        reads)
-    groups;
-  if not !ok then None
-  else
-    Some
-      (Array.of_list
-         (List.map
-            (fun (c, strides) ->
-              { xbuf = c.cbuf;
-                xbase = c.cbase;
-                xsteps = c.csteps;
-                xstrides = strides;
-                xcoeffs = Array.of_list (List.map fst c.cgroups);
-                xdeltas =
-                  Array.of_list (List.map (fun (_, cell) -> Array.of_list (List.rev !cell)) c.cgroups);
-              })
-            !clusters))
-
-(* ------------------------------------------------------------------ *)
-(* Execution of a compiled linear part                                 *)
-
-let sum_deltas (buf : Ndarray.buffer) b (deltas : int array) =
-  let s = ref 0.0 in
-  for t = 0 to Array.length deltas - 1 do
-    s := !s +. Bigarray.Array1.unsafe_get buf (b + Array.unsafe_get deltas t)
-  done;
-  !s
-
-(* The innermost loops below are written as closed loop nests with no
-   function calls: ocamlopt's Closure middle-end does not inline
-   functions containing loops, and an outlined call per element would
-   box its float result — one heap allocation per grid point. *)
-
-(* Row kernel: evaluate all clusters/groups for k = 0..n-1 along the
-   innermost axis and store into out.  cb1 holds per-cluster bases for
-   this row. *)
-let[@inline never] run_row ~const (clusters : ccluster array) (cb1 : int array) ~axis ~n
-    (out : Ndarray.buffer) ~ob ~os =
-  let nc = Array.length clusters in
-  if nc = 1 then begin
-    (* The dominant shape: one source array (stencils, copies). *)
-    let cl = Array.unsafe_get clusters 0 in
-    let buf = cl.xbuf in
-    let st = Array.unsafe_get cl.xsteps axis in
-    let coeffs = cl.xcoeffs and deltas = cl.xdeltas in
-    let ng = Array.length coeffs in
-    let b = ref (Array.unsafe_get cb1 0) in
-    for k = 0 to n - 1 do
-      let acc = ref const in
-      for gi = 0 to ng - 1 do
-        let ds = Array.unsafe_get deltas gi in
-        let s = ref 0.0 in
-        for t = 0 to Array.length ds - 1 do
-          s := !s +. Bigarray.Array1.unsafe_get buf (!b + Array.unsafe_get ds t)
-        done;
-        acc := !acc +. (Array.unsafe_get coeffs gi *. !s)
-      done;
-      Bigarray.Array1.unsafe_set out (ob + (k * os)) !acc;
-      b := !b + st
-    done
-  end
-  else
-    for k = 0 to n - 1 do
-      let acc = ref const in
-      for ci = 0 to nc - 1 do
-        let cl = Array.unsafe_get clusters ci in
-        let b = Array.unsafe_get cb1 ci + (k * Array.unsafe_get cl.xsteps axis) in
-        let buf = cl.xbuf in
-        let coeffs = cl.xcoeffs and deltas = cl.xdeltas in
-        for gi = 0 to Array.length coeffs - 1 do
-          let ds = Array.unsafe_get deltas gi in
-          let s = ref 0.0 in
-          for t = 0 to Array.length ds - 1 do
-            s := !s +. Bigarray.Array1.unsafe_get buf (b + Array.unsafe_get ds t)
-          done;
-          acc := !acc +. (Array.unsafe_get coeffs gi *. !s)
-        done
-      done;
-      Bigarray.Array1.unsafe_set out (ob + (k * os)) !acc
-    done
-
-(* ------------------------------------------------------------------ *)
-(* Kernel recognition: the code-generation step.  A compiled part whose
-   reads form a 3-D box stencil (deltas drawn from {-1,0,1}^3 scaled by
-   the source strides, grouped by distance class — every NAS-MG
-   operator after coefficient factoring) is dispatched to a dedicated
-   loop nest whose neighbour offsets are let-bound integers, matching
-   what a compiler emits for hand-written stencil code.  Additional
-   single-read clusters (the [v] of [v - A·u], the [z] of
-   [z + S·r], …) ride along as linear extras. *)
-
-(* Executor path counters (diagnostics and tests). *)
-let hits_stencil = ref 0
-let hits_linebuf = ref 0
-let hits_copy = ref 0
-let hits_generic = ref 0
-let hits_interp = ref 0
-let hits_cfun = ref 0
-
-type stencil3 = {
-  sbuf : Ndarray.buffer;
-  sbase : int;
-  s_sp : int;  (* neighbour plane stride *)
-  s_sr : int;  (* neighbour row stride *)
-  s_st0 : int;  (* walk step per k0 *)
-  s_st1 : int;
-  s_st2 : int;
-  c0 : float;
-  c1 : float;
-  c2 : float;
-  c3 : float;
-  extras : ccluster array;  (* single-read clusters *)
-}
-
-let class_deltas ~sp ~sr cls =
-  match cls with
-  | 0 -> [ 0 ]
-  | 1 -> [ -1; 1; -sr; sr; -sp; sp ]
-  | 2 ->
-      [ -sr - 1; -sr + 1; sr - 1; sr + 1; -sp - 1; -sp + 1; sp - 1; sp + 1; -sp - sr; -sp + sr;
-        sp - sr; sp + sr ]
-  | _ ->
-      [ -sp - sr - 1; -sp - sr + 1; -sp + sr - 1; -sp + sr + 1; sp - sr - 1; sp - sr + 1;
-        sp + sr - 1; sp + sr + 1 ]
-
-let sorted_copy a =
-  let b = Array.copy a in
-  Array.sort compare b;
-  b
-
-let is_single_read (cl : ccluster) =
-  Array.length cl.xcoeffs = 1 && Array.length cl.xdeltas.(0) = 1
-
-(* Recognise a box stencil on rank-3 dense axes.  The stencil cluster's
-   steps must be the source strides themselves (unit-scale reads). *)
-let recognize_stencil3 ~const:_ (clusters : ccluster array) ~(osteps : int array) =
-  if Array.length osteps <> 3 then None
-  else begin
-    let stencil_cl = ref None and extras = ref [] and ok = ref true in
-    Array.iter
-      (fun cl ->
-        if is_single_read cl then extras := cl :: !extras
-        else if !stencil_cl = None then stencil_cl := Some cl
-        else ok := false)
-      clusters;
-    match (!ok, !stencil_cl) with
-    | false, _ | _, None -> None
-    | true, Some cl ->
-        (* Neighbour deltas are expressed in the source's own strides,
-           independent of how fast the loop walks the source. *)
-        let sp = cl.xstrides.(0) and sr = cl.xstrides.(1) in
-        if cl.xstrides.(2) <> 1 || cl.xsteps.(2) < 1 || sr < 3 || sp < sr * 3 then None
-        else begin
-          (* Cluster deltas are relative to the first read; a box
-             stencil is symmetric, so its centre is the midpoint of the
-             delta range. *)
-          let dmin = ref max_int and dmax = ref min_int in
-          Array.iter
-            (Array.iter (fun d ->
-                 if d < !dmin then dmin := d;
-                 if d > !dmax then dmax := d))
-            cl.xdeltas;
-          let centre = (!dmin + !dmax) asr 1 in
-          let coeffs = [| 0.0; 0.0; 0.0; 0.0 |] in
-          let all_match =
-            Array.for_all2
-              (fun coeff deltas ->
-                let sorted = sorted_copy (Array.map (fun d -> d - centre) deltas) in
-                let rec try_class cls =
-                  if cls > 3 then false
-                  else if
-                    coeffs.(cls) = 0.0
-                    && sorted = sorted_copy (Array.of_list (class_deltas ~sp ~sr cls))
-                  then begin
-                    coeffs.(cls) <- coeff;
-                    true
-                  end
-                  else try_class (cls + 1)
-                in
-                try_class 0)
-              cl.xcoeffs cl.xdeltas
-          in
-          if not all_match then None
-          else
-            Some
-              { sbuf = cl.xbuf;
-                sbase = cl.xbase + centre;
-                s_sp = sp;
-                s_sr = sr;
-                s_st0 = cl.xsteps.(0);
-                s_st1 = cl.xsteps.(1);
-                s_st2 = cl.xsteps.(2);
-                c0 = coeffs.(0);
-                c1 = coeffs.(1);
-                c2 = coeffs.(2);
-                c3 = coeffs.(3);
-                extras = Array.of_list (List.rev !extras);
-              }
-        end
-  end
-
-(* Specialised nest for a recognised stencil (+ extras).  One variant
-   per present coefficient pattern would be even faster; the single
-   variant below already keeps all offsets in registers. *)
-let run_stencil3 ~const (st : stencil3) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
-  let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
-  let sp = st.s_sp and sr = st.s_sr in
-  let st0 = st.s_st0 and st1 = st.s_st1 and st2 = st.s_st2 in
-  let buf = st.sbuf in
-  let c0 = st.c0 and c1 = st.c1 and c2 = st.c2 and c3 = st.c3 in
-  let ne = Array.length st.extras in
-  (* Hoist the extras' scalar layouts out of the loops. *)
-  let ebuf = Array.map (fun e -> e.xbuf) st.extras in
-  let ecoef = Array.map (fun e -> e.xcoeffs.(0)) st.extras in
-  let ebase = Array.map (fun e -> e.xbase + e.xdeltas.(0).(0)) st.extras in
-  let est0 = Array.map (fun e -> e.xsteps.(0)) st.extras in
-  let est1 = Array.map (fun e -> e.xsteps.(1)) st.extras in
-  let est2 = Array.map (fun e -> e.xsteps.(2)) st.extras in
-  let eb = Array.make ne 0 in
-  let has_c1 = c1 <> 0.0 and has_c3 = c3 <> 0.0 in
-  (* Branchless single-expression row loops, one per coefficient
-     pattern (c0/c2 are present in every NAS-MG operator).  The
-     dispatch happens once per row, keeping the element loops
-     straight-line like compiled stencil code. *)
-  let g p = Bigarray.Array1.unsafe_get buf p in
-  let faces p = g (p - 1) +. g (p + 1) +. g (p - sr) +. g (p + sr) +. g (p - sp) +. g (p + sp) in
-  let edges p =
-    g (p - sr - 1) +. g (p - sr + 1) +. g (p + sr - 1) +. g (p + sr + 1) +. g (p - sp - 1)
-    +. g (p - sp + 1)
-    +. g (p + sp - 1)
-    +. g (p + sp + 1)
-    +. g (p - sp - sr)
-    +. g (p - sp + sr)
-    +. g (p + sp - sr)
-    +. g (p + sp + sr)
-  in
-  let corners p =
-    g (p - sp - sr - 1)
-    +. g (p - sp - sr + 1)
-    +. g (p - sp + sr - 1)
-    +. g (p - sp + sr + 1)
-    +. g (p + sp - sr - 1)
-    +. g (p + sp - sr + 1)
-    +. g (p + sp + sr - 1)
-    +. g (p + sp + sr + 1)
-  in
-  for k0 = 0 to n0 - 1 do
-    for k1 = 0 to n1 - 1 do
-      let b0 = st.sbase + (k0 * st0) + (k1 * st1) in
-      let ob = obase + (k0 * os0) + (k1 * os1) in
-      for e = 0 to ne - 1 do
-        eb.(e) <- ebase.(e) + (k0 * est0.(e)) + (k1 * est1.(e))
-      done;
-      if ne = 1 && not has_c1 && has_c3 then begin
-        (* residual: v - A·u *)
-        let xb = Array.unsafe_get ebuf 0
-        and xc = Array.unsafe_get ecoef 0
-        and x0 = Array.unsafe_get eb 0
-        and xs = Array.unsafe_get est2 0 in
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + (k2 * st2) in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p) +. (c2 *. edges p) +. (c3 *. corners p)
-            +. (xc *. Bigarray.Array1.unsafe_get xb (x0 + (k2 * xs))))
-        done
-      end
-      else if ne = 1 && has_c1 && not has_c3 then begin
-        (* smoother applied into a sum: z + S·r *)
-        let xb = Array.unsafe_get ebuf 0
-        and xc = Array.unsafe_get ecoef 0
-        and x0 = Array.unsafe_get eb 0
-        and xs = Array.unsafe_get est2 0 in
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + (k2 * st2) in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p) +. (c1 *. faces p) +. (c2 *. edges p)
-            +. (xc *. Bigarray.Array1.unsafe_get xb (x0 + (k2 * xs))))
-        done
-      end
-      else if ne = 0 && has_c1 && has_c3 then
-        (* full 27-point operator (projection P, interpolation Q) *)
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + (k2 * st2) in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p) +. (c1 *. faces p) +. (c2 *. edges p) +. (c3 *. corners p))
-        done
-      else if ne = 0 && (not has_c1) && has_c3 then
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + (k2 * st2) in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p) +. (c2 *. edges p) +. (c3 *. corners p))
-        done
-      else if ne = 0 && has_c1 && not has_c3 then
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + (k2 * st2) in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p) +. (c1 *. faces p) +. (c2 *. edges p))
-        done
-      else
-        (* general fallback: any coefficient pattern, any extras *)
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + (k2 * st2) in
-          let acc = ref (const +. (c0 *. g p)) in
-          if has_c1 then acc := !acc +. (c1 *. faces p);
-          if c2 <> 0.0 then acc := !acc +. (c2 *. edges p);
-          if has_c3 then acc := !acc +. (c3 *. corners p);
-          for e = 0 to ne - 1 do
-            acc :=
-              !acc
-              +. Array.unsafe_get ecoef e
-                 *. Bigarray.Array1.unsafe_get (Array.unsafe_get ebuf e)
-                      (Array.unsafe_get eb e + (k2 * Array.unsafe_get est2 e))
-          done;
-          Bigarray.Array1.unsafe_set out (ob + (k2 * os2)) !acc
-        done
-    done
-  done
-
-(* Line-buffered variant of the box-stencil kernel — the Fortran
-   port's resid/psinv technique (mg_f77.ml).  Per output row, the four
-   off-row face neighbours and the four edge diagonals of every inner
-   position are summed once into [u1]/[u2]; the element loop then
-   combines three adjacent entries of each, replacing 20 of the 26
-   neighbour loads by 4 buffered adds plus 6 buffer reads.  Requires a
-   unit inner walk step ([s_st2 = 1]) so buffer index and inner offset
-   coincide; every read it performs is one the plain kernel performs
-   too, so in-bounds-ness is inherited.  The groupings
-   [u2 + u1(i-1) + u1(i+1)] and [u2(i-1) + u2(i+1)] are exactly the
-   Fortran port's, which keeps the two implementations' floating-point
-   results within ulps of each other. *)
-let run_stencil3_linebuf ~const (st : stencil3) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
-  let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
-  let sp = st.s_sp and sr = st.s_sr in
-  let st0 = st.s_st0 and st1 = st.s_st1 in
-  let buf = st.sbuf in
-  let c0 = st.c0 and c1 = st.c1 and c2 = st.c2 and c3 = st.c3 in
-  let ne = Array.length st.extras in
-  let ebuf = Array.map (fun e -> e.xbuf) st.extras in
-  let ecoef = Array.map (fun e -> e.xcoeffs.(0)) st.extras in
-  let ebase = Array.map (fun e -> e.xbase + e.xdeltas.(0).(0)) st.extras in
-  let est0 = Array.map (fun e -> e.xsteps.(0)) st.extras in
-  let est1 = Array.map (fun e -> e.xsteps.(1)) st.extras in
-  let est2 = Array.map (fun e -> e.xsteps.(2)) st.extras in
-  let eb = Array.make ne 0 in
-  let has_c1 = c1 <> 0.0 and has_c3 = c3 <> 0.0 in
-  let m = n2 + 2 in
-  let u1 = Array.make m 0.0 and u2 = Array.make m 0.0 in
-  let g p = Bigarray.Array1.unsafe_get buf p in
-  for k0 = 0 to n0 - 1 do
-    for k1 = 0 to n1 - 1 do
-      let b0 = st.sbase + (k0 * st0) + (k1 * st1) in
-      let ob = obase + (k0 * os0) + (k1 * os1) in
-      (* Plane sums over the row, one element beyond each end. *)
-      for i = 0 to m - 1 do
-        let q = b0 + i - 1 in
-        Array.unsafe_set u1 i (g (q - sr) +. g (q + sr) +. g (q - sp) +. g (q + sp));
-        Array.unsafe_set u2 i
-          (g (q - sp - sr) +. g (q - sp + sr) +. g (q + sp - sr) +. g (q + sp + sr))
-      done;
-      for e = 0 to ne - 1 do
-        eb.(e) <- ebase.(e) + (k0 * est0.(e)) + (k1 * est1.(e))
-      done;
-      if ne = 1 && not has_c1 && has_c3 then begin
-        (* residual: v - A·u *)
-        let xb = Array.unsafe_get ebuf 0
-        and xc = Array.unsafe_get ecoef 0
-        and x0 = Array.unsafe_get eb 0
-        and xs = Array.unsafe_get est2 0 in
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + k2 and i = k2 + 1 in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p)
-            +. (c2
-               *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
-                  +. Array.unsafe_get u1 (i + 1)))
-            +. (c3 *. (Array.unsafe_get u2 (i - 1) +. Array.unsafe_get u2 (i + 1)))
-            +. (xc *. Bigarray.Array1.unsafe_get xb (x0 + (k2 * xs))))
-        done
-      end
-      else if ne = 1 && has_c1 && not has_c3 then begin
-        (* smoother applied into a sum: z + S·r *)
-        let xb = Array.unsafe_get ebuf 0
-        and xc = Array.unsafe_get ecoef 0
-        and x0 = Array.unsafe_get eb 0
-        and xs = Array.unsafe_get est2 0 in
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + k2 and i = k2 + 1 in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p)
-            +. (c1 *. (g (p - 1) +. g (p + 1) +. Array.unsafe_get u1 i))
-            +. (c2
-               *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
-                  +. Array.unsafe_get u1 (i + 1)))
-            +. (xc *. Bigarray.Array1.unsafe_get xb (x0 + (k2 * xs))))
-        done
-      end
-      else if ne = 0 && has_c1 && has_c3 then
-        (* full 27-point operator *)
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + k2 and i = k2 + 1 in
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const +. (c0 *. g p)
-            +. (c1 *. (g (p - 1) +. g (p + 1) +. Array.unsafe_get u1 i))
-            +. (c2
-               *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
-                  +. Array.unsafe_get u1 (i + 1)))
-            +. (c3 *. (Array.unsafe_get u2 (i - 1) +. Array.unsafe_get u2 (i + 1))))
-        done
-      else
-        (* general fallback: any coefficient pattern, any extras *)
-        for k2 = 0 to n2 - 1 do
-          let p = b0 + k2 and i = k2 + 1 in
-          let acc = ref (const +. (c0 *. g p)) in
-          if has_c1 then
-            acc := !acc +. (c1 *. (g (p - 1) +. g (p + 1) +. Array.unsafe_get u1 i));
-          if c2 <> 0.0 then
-            acc :=
-              !acc
-              +. c2
-                 *. (Array.unsafe_get u2 i +. Array.unsafe_get u1 (i - 1)
-                    +. Array.unsafe_get u1 (i + 1));
-          if has_c3 then
-            acc := !acc +. (c3 *. (Array.unsafe_get u2 (i - 1) +. Array.unsafe_get u2 (i + 1)));
-          for e = 0 to ne - 1 do
-            acc :=
-              !acc
-              +. Array.unsafe_get ecoef e
-                 *. Bigarray.Array1.unsafe_get (Array.unsafe_get ebuf e)
-                      (Array.unsafe_get eb e + (k2 * Array.unsafe_get est2 e))
-          done;
-          Bigarray.Array1.unsafe_set out (ob + (k2 * os2)) !acc
-        done
-    done
-  done
-
-(* Flat-weighted kernel: one cluster with few reads (the specialised
-   interpolation bodies that residue splitting produces).  Coefficients
-   are pre-multiplied into per-read weights, trading the factored
-   grouping for a single tight loop — profitable only when the read
-   count is small, hence the cap at recognition time. *)
-let run_flat3 ~const (cl : ccluster) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
-  let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
-  let nw = Array.fold_left (fun acc ds -> acc + Array.length ds) 0 cl.xdeltas in
-  let wdeltas = Array.make nw 0 and weights = Array.make nw 0.0 in
-  let t = ref 0 in
-  Array.iteri
-    (fun gi ds ->
-      Array.iter
-        (fun d ->
-          wdeltas.(!t) <- d;
-          weights.(!t) <- cl.xcoeffs.(gi);
-          incr t)
-        ds)
-    cl.xdeltas;
-  let buf = cl.xbuf in
-  let st0 = cl.xsteps.(0) and st1 = cl.xsteps.(1) and st2 = cl.xsteps.(2) in
-  for k0 = 0 to n0 - 1 do
-    for k1 = 0 to n1 - 1 do
-      let b0 = cl.xbase + (k0 * st0) + (k1 * st1) in
-      let ob = obase + (k0 * os0) + (k1 * os1) in
-      for k2 = 0 to n2 - 1 do
-        let b = b0 + (k2 * st2) in
-        let acc = ref const in
-        for w = 0 to nw - 1 do
-          acc :=
-            !acc
-            +. Array.unsafe_get weights w
-               *. Bigarray.Array1.unsafe_get buf (b + Array.unsafe_get wdeltas w)
-        done;
-        Bigarray.Array1.unsafe_set out (ob + (k2 * os2)) !acc
-      done
-    done
-  done
-
-(* Element-wise kernel: every cluster is a single read (maps, zips and
-   the affine combinations fusion builds from them). *)
-let run_zip3 ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
-  let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
-  let ne = Array.length clusters in
-  let ebuf = Array.map (fun e -> e.xbuf) clusters in
-  let ecoef = Array.map (fun e -> e.xcoeffs.(0)) clusters in
-  let ebase = Array.map (fun e -> e.xbase + e.xdeltas.(0).(0)) clusters in
-  let est0 = Array.map (fun e -> e.xsteps.(0)) clusters in
-  let est1 = Array.map (fun e -> e.xsteps.(1)) clusters in
-  let est2 = Array.map (fun e -> e.xsteps.(2)) clusters in
-  if ne = 2 then begin
-    let b0 = ebuf.(0) and b1 = ebuf.(1) in
-    let c0 = ecoef.(0) and c1 = ecoef.(1) in
-    let s02 = est2.(0) and s12 = est2.(1) in
-    for k0 = 0 to n0 - 1 do
-      for k1 = 0 to n1 - 1 do
-        let p0 = ebase.(0) + (k0 * est0.(0)) + (k1 * est1.(0)) in
-        let p1 = ebase.(1) + (k0 * est0.(1)) + (k1 * est1.(1)) in
-        let ob = obase + (k0 * os0) + (k1 * os1) in
-        for k2 = 0 to n2 - 1 do
-          Bigarray.Array1.unsafe_set out
-            (ob + (k2 * os2))
-            (const
-            +. (c0 *. Bigarray.Array1.unsafe_get b0 (p0 + (k2 * s02)))
-            +. (c1 *. Bigarray.Array1.unsafe_get b1 (p1 + (k2 * s12))))
-        done
-      done
-    done
-  end
-  else begin
-    let eb = Array.make ne 0 in
-    for k0 = 0 to n0 - 1 do
-      for k1 = 0 to n1 - 1 do
-        for e = 0 to ne - 1 do
-          eb.(e) <- ebase.(e) + (k0 * est0.(e)) + (k1 * est1.(e))
-        done;
-        let ob = obase + (k0 * os0) + (k1 * os1) in
-        for k2 = 0 to n2 - 1 do
-          let acc = ref const in
-          for e = 0 to ne - 1 do
-            acc :=
-              !acc
-              +. Array.unsafe_get ecoef e
-                 *. Bigarray.Array1.unsafe_get (Array.unsafe_get ebuf e)
-                      (Array.unsafe_get eb e + (k2 * Array.unsafe_get est2 e))
-          done;
-          Bigarray.Array1.unsafe_set out (ob + (k2 * os2)) !acc
-        done
-      done
-    done
-  end
-
-(* Identity-copy detection: a part that just moves a contiguous row of
-   one source is executed as a blit. *)
-let is_plain_copy ~const (clusters : ccluster array) ~(osteps : int array) =
-  const = 0.0
-  && Array.length clusters = 1
-  &&
-  let cl = clusters.(0) in
-  Array.length cl.xcoeffs = 1
-  && cl.xcoeffs.(0) = 1.0
-  && Array.length cl.xdeltas.(0) = 1
-  && cl.xdeltas.(0) = [| 0 |]
-  && Shape.equal cl.xsteps osteps
-  && osteps.(Array.length osteps - 1) = 1
-
-(* Generic rank-3 cluster nest (no recognised kernel). *)
-let run_generic3 ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
-  let nc = Array.length clusters in
-  let os0 = osteps.(0) and os1 = osteps.(1) and os2 = osteps.(2) in
-  let cb0 = Array.make nc 0 and cb1 = Array.make nc 0 in
-  for k0 = 0 to n0 - 1 do
-    for ci = 0 to nc - 1 do
-      cb0.(ci) <- clusters.(ci).xbase + (k0 * clusters.(ci).xsteps.(0))
-    done;
-    let ob0 = obase + (k0 * os0) in
-    for k1 = 0 to n1 - 1 do
-      for ci = 0 to nc - 1 do
-        cb1.(ci) <- cb0.(ci) + (k1 * clusters.(ci).xsteps.(1))
-      done;
-      run_row ~const clusters cb1 ~axis:2 ~n:n2 out ~ob:(ob0 + (k1 * os1)) ~os:os2
-    done
-  done
-
-(* The rank-3 kernel choice, decided once when a part is compiled and
-   reused on every (possibly cached) execution.  Stencil payloads carry
-   the index of their cluster and of each extra within the part's
-   cluster array so the payload can be rebound to fresh buffers. *)
-type k3 =
-  | K3copy
-  | K3stencil of stencil3 * int * int array
-  | K3stencil_lb of stencil3 * int * int array
-  | K3zip
-  | K3flat
-  | K3generic
-
-(* Rebuild a stencil payload against (freshly bound and/or base-shifted)
-   clusters; [koff] is the payload's displacement in outer-axis steps. *)
-let rebind_k3 (clusters : ccluster array) ~koff = function
-  | (K3copy | K3zip | K3flat | K3generic) as k -> k
-  | K3stencil (s, si, eidx) ->
-      K3stencil
-        ( { s with
-            sbuf = clusters.(si).xbuf;
-            sbase = s.sbase + (koff * s.s_st0);
-            extras = Array.map (fun i -> clusters.(i)) eidx;
-          },
-          si,
-          eidx )
-  | K3stencil_lb (s, si, eidx) ->
-      K3stencil_lb
-        ( { s with
-            sbuf = clusters.(si).xbuf;
-            sbase = s.sbase + (koff * s.s_st0);
-            extras = Array.map (fun i -> clusters.(i)) eidx;
-          },
-          si,
-          eidx )
-
-let choose_k3 ~line_buffers ~const (clusters : ccluster array) ~osteps =
-  if is_plain_copy ~const clusters ~osteps then K3copy
-  else
-    match recognize_stencil3 ~const clusters ~osteps with
-    | Some s ->
-        let si = ref 0 and eidx = ref [] in
-        Array.iteri
-          (fun i cl -> if is_single_read cl then eidx := i :: !eidx else si := i)
-          clusters;
-        let eidx = Array.of_list (List.rev !eidx) in
-        (* Line buffering pays when the plane sums are reused across the
-           inner loop — i.e. when edge or corner classes are present —
-           and needs a unit inner walk step. *)
-        if line_buffers && s.s_st2 = 1 && (s.c2 <> 0.0 || s.c3 <> 0.0) then
-          K3stencil_lb (s, !si, eidx)
-        else K3stencil (s, !si, eidx)
-    | None when Array.length clusters > 0 && Array.for_all is_single_read clusters -> K3zip
-    | None
-      when Array.length clusters = 1
-           && Array.fold_left (fun acc ds -> acc + Array.length ds) 0 clusters.(0).xdeltas <= 8 ->
-        K3flat
-    | None -> K3generic
-
-let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  match k with
-  | K3copy ->
-      incr hits_copy;
-      let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
-      let os0 = osteps.(0) and os1 = osteps.(1) in
-      let cl = clusters.(0) in
-      let delta = cl.xbase - obase in
-      for k0 = 0 to n0 - 1 do
-        for k1 = 0 to n1 - 1 do
-          let ob = obase + (k0 * os0) + (k1 * os1) in
-          Bigarray.Array1.blit
-            (Bigarray.Array1.sub cl.xbuf (ob + delta) n2)
-            (Bigarray.Array1.sub out ob n2)
-        done
-      done
-  | K3stencil (st, _, _) ->
-      incr hits_stencil;
-      run_stencil3 ~const st out ~obase ~osteps ~counts
-  | K3stencil_lb (st, _, _) ->
-      incr hits_linebuf;
-      run_stencil3_linebuf ~const st out ~obase ~osteps ~counts
-  | K3zip ->
-      incr hits_interp;
-      run_zip3 ~const clusters out ~obase ~osteps ~counts
-  | K3flat ->
-      incr hits_interp;
-      run_flat3 ~const clusters.(0) out ~obase ~osteps ~counts
-  | K3generic ->
-      incr hits_generic;
-      run_generic3 ~const clusters out ~obase ~osteps ~counts
-
-let run_lin_generic ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
-    ~(counts : int array) =
-  let rank = Array.length counts in
-  let nc = Array.length clusters in
-  if rank = 0 then begin
-    let cb = Array.init nc (fun ci -> clusters.(ci).xbase) in
-    (* Rank 0: a single element; reuse the inner evaluator with k=0. *)
-    let v =
-      const
-      +.
-      if nc = 0 then 0.0
-      else begin
-        let acc = ref 0.0 in
-        for ci = 0 to nc - 1 do
-          let cl = clusters.(ci) in
-          for gi = 0 to Array.length cl.xcoeffs - 1 do
-            acc := !acc +. (cl.xcoeffs.(gi) *. sum_deltas cl.xbuf cb.(ci) cl.xdeltas.(gi))
-          done
-        done;
-        !acc
-      end
-    in
-    Bigarray.Array1.unsafe_set out obase v
-  end
-  else begin
-    let cb = Array.make_matrix rank nc 0 in
-    let rec go axis (prev : int array) ob =
-      if axis = rank - 1 then
-        run_row ~const clusters prev ~axis ~n:counts.(axis) out ~ob ~os:osteps.(axis)
-      else begin
-        let row = cb.(axis) in
-        for k = 0 to counts.(axis) - 1 do
-          for ci = 0 to nc - 1 do
-            row.(ci) <- prev.(ci) + (k * clusters.(ci).xsteps.(axis))
-          done;
-          (* Inner levels copy [row] before mutating their own level, so
-             reusing one row per axis is safe. *)
-          go (axis + 1) row (ob + (k * osteps.(axis)))
-        done
-      end
-    in
-    let top = Array.init nc (fun ci -> clusters.(ci).xbase) in
-    go 0 top obase
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Part compilation.
-
-   A part is compiled once per force — linear-form extraction,
-   clustering, output layout and kernel choice — into a [cpart] that
-   executes by plain loop nests with no further analysis.  The compiled
-   form is also what the plan cache stores: it references buffers only
-   through its cluster array, which replay rebinds.  Parallel execution
-   shifts the compiled bases by whole outer-axis steps per piece
-   instead of re-deriving layouts piece by piece. *)
-
-type cpart = {
-  kgen : Generator.t;
-  kcard : int;
-  kconst : float;
-  kclusters : ccluster array;
-  kkernel : k3 option;  (* [Some] iff the part is rank 3 *)
-  kobase : int;
-  kosteps : int array;
-  kcounts : int array;
-}
-
-type compiled =
-  | Ccompiled of cpart
-  | Cclosure of Generator.t * int * Ir.expr  (* gen, cardinal, body *)
-
-let compiled_card = function Ccompiled c -> c.kcard | Cclosure (_, card, _) -> card
-let compiled_gen = function Ccompiled c -> c.kgen | Cclosure (g, _, _) -> g
-
-(* Flat base/steps of the output for the part's affine axes, from the
-   output strides alone (the buffer is not needed — cached plans are
-   compiled against outputs that do not exist yet on replay). *)
-let out_layout_of ~(ostrides : int array) (ax : axes) =
-  let rank = Array.length ax.c0 in
-  let base = ref 0 and steps = Array.make rank 0 in
-  for j = 0 to rank - 1 do
-    base := !base + (ostrides.(j) * ax.c0.(j));
-    steps.(j) <- ostrides.(j) * ax.astep.(j)
-  done;
-  (!base, steps)
-
-let compile_part st ~ostrides (p : Ir.part) : compiled =
-  let gen = p.Ir.gen in
-  let card = Generator.cardinal gen in
-  match Linform.of_expr p.Ir.body with
-  | None -> Cclosure (gen, card, p.Ir.body)
-  | Some lf -> (
-      let groups =
-        if st.factor then Linform.factor lf
-        else List.map (fun (c, r) -> (c, [ r ])) lf.Linform.terms
-      in
-      let const = lf.Linform.const in
-      match axes_of_gen gen with
-      | None -> Cclosure (gen, card, p.Ir.body)
-      | Some ax -> (
-          match clusterize ax groups with
-          | None -> Cclosure (gen, card, p.Ir.body)
-          | Some clusters ->
-              let kobase, kosteps = out_layout_of ~ostrides ax in
-              let kkernel =
-                if Array.length ax.counts = 3 then
-                  Some (choose_k3 ~line_buffers:st.line_buffers ~const clusters ~osteps:kosteps)
-                else None
-              in
-              Ccompiled
-                { kgen = gen;
-                  kcard = card;
-                  kconst = const;
-                  kclusters = clusters;
-                  kkernel;
-                  kobase;
-                  kosteps;
-                  kcounts = ax.counts;
-                }))
-
-(* ------------------------------------------------------------------ *)
-(* Running one (sub-)generator of a compiled part                      *)
-
-let run_closure_piece (out : Ndarray.t) (f : Shape.t -> float) (g : Generator.t) =
-  incr hits_cfun;
-  let shape = Ndarray.shape out in
-  Generator.iter g (fun iv -> Ndarray.set_flat out (Shape.ravel ~shape iv) (f iv))
-
-(* Execute a compiled part over one coordinate band.  [piece] must have
-   the same step/width as [cp.kgen] with its lower bound displaced by a
-   whole number of outer-axis steps (what [Generator.split_axis]
-   produces), so every layout shifts by [koff] steps along axis 0. *)
-let run_cpart_piece (out : Ndarray.t) (cp : cpart) ~(piece : Generator.t) ~whole =
-  let koff =
-    if whole || Generator.rank cp.kgen = 0 then 0
-    else (piece.Generator.lb.(0) - cp.kgen.Generator.lb.(0)) / cp.kgen.Generator.step.(0)
-  in
-  let counts = if whole then cp.kcounts else Generator.counts piece in
-  let clusters =
-    if koff = 0 then cp.kclusters
-    else
-      Array.map (fun cl -> { cl with xbase = cl.xbase + (koff * cl.xsteps.(0)) }) cp.kclusters
-  in
-  let obase = cp.kobase + (koff * cp.kosteps.(0)) in
-  match cp.kkernel with
-  | Some k ->
-      let k = if koff = 0 then k else rebind_k3 clusters ~koff k in
-      run_k3 ~const:cp.kconst k clusters out.Ndarray.data ~obase ~osteps:cp.kosteps ~counts
-  | None ->
-      run_lin_generic ~const:cp.kconst clusters out.Ndarray.data ~obase ~osteps:cp.kosteps
-        ~counts
-
-let exec_compiled st (out : Ndarray.t) (c : compiled) =
-  let gen = compiled_gen c in
-  let card = compiled_card c in
-  if card > 0 then begin
-    let pool = st.pool () in
-    let nworkers = Domain_pool.size pool in
-    let par = card >= st.par_threshold && nworkers > 1 && Generator.rank gen > 0 in
-    match c with
-    | Cclosure (_, _, body) ->
-        (if Sys.getenv_opt "WL_DEBUG_CFUN" <> None then
-           Format.eprintf "CFUN part %a body %a@." Generator.pp gen Ir.pp_expr body);
-        let f = closure_of body in
-        if par then begin
-          let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:nworkers) in
-          Domain_pool.parallel_for pool ~lo:0 ~hi:(Array.length pieces) (fun lo hi ->
-              for i = lo to hi - 1 do
-                run_closure_piece out f pieces.(i)
-              done)
-        end
-        else run_closure_piece out f gen
-    | Ccompiled cp ->
-        if par then begin
-          let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:nworkers) in
-          Domain_pool.parallel_for pool ~lo:0 ~hi:(Array.length pieces) (fun lo hi ->
-              for i = lo to hi - 1 do
-                run_cpart_piece out cp ~piece:pieces.(i) ~whole:false
-              done)
-        end
-        else run_cpart_piece out cp ~piece:gen ~whole:true
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Box copies for modarray bases                                       *)
-
-let copy_box (src : Ndarray.t) (dst : Ndarray.t) (lb : Shape.t) (ub : Shape.t) =
-  let rank = Shape.rank lb in
-  let empty = ref false in
-  for j = 0 to rank - 1 do
-    if lb.(j) >= ub.(j) then empty := true
-  done;
-  if !empty then ()
-  else if rank = 0 then Ndarray.set_flat dst 0 (Ndarray.get_flat src 0)
-  else begin
-    let strides = src.Ndarray.strides in
-    let inner_len = ub.(rank - 1) - lb.(rank - 1) in
-    let rec go axis off =
-      if axis = rank - 1 then
-        let off = off + lb.(axis) in
-        Bigarray.Array1.blit
-          (Bigarray.Array1.sub src.Ndarray.data off inner_len)
-          (Bigarray.Array1.sub dst.Ndarray.data off inner_len)
-      else
-        for c = lb.(axis) to ub.(axis) - 1 do
-          go (axis + 1) (off + (c * strides.(axis)))
-        done
-    in
-    go 0 0
-  end
-
-(* Copy base into out everywhere outside the box [lb, ub). *)
-let copy_complement (base : Ndarray.t) (out : Ndarray.t) (lb : Shape.t) (ub : Shape.t) =
-  let shape = Ndarray.shape out in
-  let rank = Shape.rank shape in
-  (* Standard box-complement decomposition: for each axis, the slabs
-     below lb and above ub, with earlier axes restricted to the box. *)
-  for j = 0 to rank - 1 do
-    let slab_lb = Array.init rank (fun i -> if i < j then lb.(i) else 0) in
-    let slab_ub = Array.init rank (fun i -> if i < j then ub.(i) else shape.(i)) in
-    let low_ub = Array.copy slab_ub in
-    low_ub.(j) <- lb.(j);
-    copy_box base out slab_lb low_ub;
-    let high_lb = Array.copy slab_lb in
-    high_lb.(j) <- ub.(j);
-    copy_box base out high_lb slab_ub
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Modarray lowering: represent the base pass-through as explicit
-   complement parts reading the base, so that the fusion engine can
-   fold cheap bases (the SAC view of modarray as a full-partition
-   with-loop). *)
-
-(* Subtract a box from a box: up to 2*rank disjoint slabs. *)
-let subtract_box (lb, ub) (plb, pub) =
-  let rank = Array.length lb in
-  let overlap = ref true in
-  for j = 0 to rank - 1 do
-    if pub.(j) <= lb.(j) || plb.(j) >= ub.(j) then overlap := false
-  done;
-  if not !overlap then [ (lb, ub) ]
-  else begin
-    let slabs = ref [] in
-    let cur_lb = Array.copy lb and cur_ub = Array.copy ub in
-    for j = 0 to rank - 1 do
-      if plb.(j) > cur_lb.(j) then begin
-        let s_ub = Array.copy cur_ub in
-        s_ub.(j) <- plb.(j);
-        slabs := (Array.copy cur_lb, s_ub) :: !slabs;
-        cur_lb.(j) <- plb.(j)
-      end;
-      if pub.(j) < cur_ub.(j) then begin
-        let s_lb = Array.copy cur_lb in
-        s_lb.(j) <- pub.(j);
-        slabs := (s_lb, Array.copy cur_ub) :: !slabs;
-        cur_ub.(j) <- pub.(j)
-      end
-    done;
-    !slabs
-  end
-
-let complement_boxes shape (parts : Ir.part list) =
-  let rank = Shape.rank shape in
-  let whole = (Shape.replicate rank 0, Array.copy shape) in
-  List.fold_left
-    (fun boxes (p : Ir.part) ->
-      let plb = p.Ir.gen.Generator.lb and pub = p.Ir.gen.Generator.ub in
-      List.concat_map (fun box -> subtract_box box (plb, pub)) boxes)
-    [ whole ] parts
-
-(* ------------------------------------------------------------------ *)
-(* Buffer pool: SAC's runtime reference counting frees intermediate
-   arrays the moment their last consumer has executed; recycling those
-   buffers avoids both allocator traffic and first-touch page faults.
-   Only buffers owned by node caches whose reference count reached
-   zero (and which never escaped through [Wl.force]) enter the pool. *)
-
-let pool : (int, Ndarray.buffer list ref) Hashtbl.t = Hashtbl.create 16
-let pool_max_per_size = 8
-
-let pool_alloc shape =
-  let len = Shape.num_elements shape in
-  match Hashtbl.find_opt pool len with
-  | Some ({ contents = b :: rest } as cell) ->
-      cell := rest;
-      Ndarray.of_buffer shape b
-  | _ -> Ndarray.create_uninit shape
-
-let pool_recycle (a : Ndarray.t) =
-  let len = Ndarray.size a in
-  if len > 0 then begin
-    let cell =
-      match Hashtbl.find_opt pool len with
-      | Some cell -> cell
-      | None ->
-          let cell = ref [] in
-          Hashtbl.add pool len cell;
-          cell
-    in
-    if List.length !cell < pool_max_per_size then cell := a.Ndarray.data :: !cell
-  end
-
-let pool_clear () = Hashtbl.reset pool
-
-(* Consume one edge from [n] to each of its sources; recycle producer
-   caches whose last consumer this was. *)
 let release_sources (n : Ir.node) =
   let consume src =
     Ir.decr_refs src;
@@ -1144,7 +57,7 @@ let release_sources (n : Ir.node) =
         match p.Ir.cache with
         | Some arr ->
             Ir.clear_cache p;
-            pool_recycle arr
+            Mempool.recycle arr
         | None -> ())
     | Ir.Node _ | Ir.Arr _ -> ()
   in
@@ -1158,70 +71,23 @@ let release_sources (n : Ir.node) =
   List.iter (fun (p : Ir.part) -> List.iter consume (Ir.expr_sources p.Ir.body)) parts
 
 (* ------------------------------------------------------------------ *)
-(* Cached plans                                                        *)
+(* Plan cache                                                          *)
 
-(* How the output buffer of a force is produced, with base sources
-   referenced by binding slot. *)
-type out_mode =
-  | OFresh  (** Fully covered: uninitialised allocation. *)
-  | OFill of float  (** Partial genarray: fill with the default. *)
-  | OBlit of int  (** Modarray: copy the whole base first. *)
-  | OComplement of int * Shape.t * Shape.t
-      (** Modarray with one dense part: copy the base outside [lb,ub). *)
-  | OSteal of int  (** Barrier modarray: update the base in place. *)
-
-type cplan = {
-  cmode : out_mode;
-  cparts : (cpart * int array) array;
-      (** Compiled parts with, per cluster, the binding slot its buffer
-          comes from.  Stored templates have their buffers stripped. *)
-  celements : int;
-  ccompile : float;  (** Seconds of optimisation/compilation a hit skips. *)
-}
-
-type centry = CPlan of cplan | CUncacheable
+type centry = CPlan of Plan.cplan | CUncacheable
 
 let plan_cache : centry Plan_cache.t = Plan_cache.create ()
 
 let cache_clear () =
   Plan_cache.clear plan_cache;
-  pool_clear ()
+  Mempool.clear ()
 
 (* The optimisation-configuration fingerprint prefixed to every key.
-   Thread count and parallel threshold are deliberately absent: the
-   parallel split is applied at execution time, so one plan serves any
-   pool size. *)
+   Thread count, scheduling policy and backend are deliberately
+   absent: the parallel split is applied at execution time, so one
+   plan serves any pool size, policy and backend. *)
 let env_of st =
   Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;" st.fusion.Fusion.fold
     st.fusion.Fusion.split_strided st.fusion.Fusion.split_threshold st.factor st.line_buffers
-
-let slot_of_source (bindings : Ir.source array) (s : Ir.source) =
-  let nb = Array.length bindings in
-  let rec go i =
-    if i >= nb then None
-    else
-      match (bindings.(i), s) with
-      | Ir.Node a, Ir.Node b when a == b -> Some i
-      | Ir.Arr a, Ir.Arr b when a.Ndarray.data == b.Ndarray.data -> Some i
-      | Ir.Arr a, Ir.Node b when
-          (match b.Ir.cache with Some arr -> arr.Ndarray.data == a.Ndarray.data | None -> false)
-        ->
-          (* A materialised node deduplicated against a leaf array. *)
-          Some i
-      | _ -> go (i + 1)
-  in
-  go 0
-
-(* Stored templates must not pin the buffers of the force that created
-   them (a cached plan for a 258^3 operator would otherwise retain
-   ~500 MB of dead grids), so cluster buffers are replaced by a shared
-   zero-length dummy; replay rebinds before execution. *)
-let dummy_buf : Ndarray.buffer =
-  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
-
-let strip_cpart (cp : cpart) =
-  let kclusters = Array.map (fun cl -> { cl with xbuf = dummy_buf }) cp.kclusters in
-  { cp with kclusters; kkernel = Option.map (rebind_k3 kclusters ~koff:0) cp.kkernel }
 
 (* ------------------------------------------------------------------ *)
 (* Forcing                                                             *)
@@ -1248,7 +114,7 @@ and force_source st = function Ir.Arr a -> a | Ir.Node n -> force st n
 
 (* The cached fast path: bind the plan's slots to this graph's buffers
    (forcing producers on demand) and run the stored loop nests. *)
-and force_replay st (n : Ir.node) (p : cplan) (bindings : Ir.source array) : Ndarray.t =
+and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) : Ndarray.t =
   let saved_child = !child_time in
   child_time := 0.0;
   let t0 = Clock.now () in
@@ -1263,27 +129,27 @@ and force_replay st (n : Ir.node) (p : cplan) (bindings : Ir.source array) : Nda
         memo.(i) <- Some b;
         b
   in
-  let stolen = match p.cmode with OSteal _ -> true | _ -> false in
+  let stolen = match p.Plan.cmode with Plan.OSteal _ -> true | _ -> false in
   let out =
-    match p.cmode with
-    | OFresh -> pool_alloc shape
-    | OFill d ->
-        let out = pool_alloc shape in
+    match p.Plan.cmode with
+    | Plan.OFresh -> Mempool.alloc shape
+    | Plan.OFill d ->
+        let out = Mempool.alloc shape in
         Ndarray.fill out d;
         out
-    | OBlit i ->
+    | Plan.OBlit i ->
         let base = force_source st bindings.(i) in
         memo.(i) <- Some base.Ndarray.data;
-        let out = pool_alloc shape in
+        let out = Mempool.alloc shape in
         Ndarray.blit ~src:base ~dst:out;
         out
-    | OComplement (i, lb, ub) ->
+    | Plan.OComplement (i, lb, ub) ->
         let base = force_source st bindings.(i) in
         memo.(i) <- Some base.Ndarray.data;
-        let out = pool_alloc shape in
-        copy_complement base out lb ub;
+        let out = Mempool.alloc shape in
+        Lower.copy_complement base out lb ub;
         out
-    | OSteal i -> (
+    | Plan.OSteal i -> (
         match bindings.(i) with
         | Ir.Node b ->
             let arr = force st b in
@@ -1294,19 +160,17 @@ and force_replay st (n : Ir.node) (p : cplan) (bindings : Ir.source array) : Nda
             arr
         | Ir.Arr _ -> invalid_arg "Exec: steal plan bound to a leaf array")
   in
-  Array.iter
-    (fun ((cpt : cpart), slots) ->
-      let kclusters =
-        Array.mapi (fun j cl -> { cl with xbuf = get_buf slots.(j) }) cpt.kclusters
-      in
-      let cp =
-        { cpt with kclusters; kkernel = Option.map (rebind_k3 kclusters ~koff:0) cpt.kkernel }
-      in
-      exec_compiled st out (Ccompiled cp))
-    p.cparts;
+  let parts =
+    Array.to_list
+      (Array.map
+         (fun ((cpt : Plan.cpart), slots) ->
+           Plan.Ccompiled (Plan.rebind_cpart cpt (fun j -> get_buf slots.(j))))
+         p.Plan.cparts)
+  in
+  exec_parts st out parts;
   Ir.set_cache n out;
   release_sources n;
-  Plan_cache.note_hit ~saved:p.ccompile;
+  Plan_cache.note_hit ~saved:p.Plan.ccompile;
   let total = Clock.now () -. t0 in
   let self = total -. !child_time in
   child_time := saved_child +. total;
@@ -1314,7 +178,7 @@ and force_replay st (n : Ir.node) (p : cplan) (bindings : Ir.source array) : Nda
     Trace.emit
       { Trace.tag =
           (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
-        elements = p.celements;
+        elements = p.Plan.celements;
         seq_seconds = self;
         bytes_alloc = (if stolen then 0 else 8 * Shape.num_elements shape);
         parallel = true;
@@ -1331,14 +195,14 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
   let shape = n.Ir.nshape in
   let bindings_opt = Option.map snd record in
   let cacheable = ref (record <> None) in
-  let mode = ref OFresh in
+  let mode = ref Plan.OFresh in
   (* Resolve a source to its binding slot for the stored plan's output
      mode; an unresolvable source makes the plan uncacheable. *)
   let record_mode src f =
     match bindings_opt with
     | None -> ()
     | Some bindings -> (
-        match slot_of_source bindings src with
+        match Plan.slot_of_source bindings src with
         | Some i -> mode := f i
         | None -> cacheable := false)
   in
@@ -1375,18 +239,8 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
     | Ir.Genarray { default; parts } -> (parts, None, default)
     | Ir.Modarray { base; parts } ->
         if stolen <> None then (parts, None, 0.0)
-        else if List.for_all (fun (p : Ir.part) -> Generator.is_dense p.Ir.gen) parts then begin
-          let rank = Shape.rank shape in
-          let complement =
-            List.filter_map
-              (fun (lb, ub) ->
-                let gen = Generator.make ~lb ~ub () in
-                if Generator.is_empty gen then None
-                else Some { Ir.gen; body = Ir.Read (base, Ixmap.identity rank) })
-              (complement_boxes shape parts)
-          in
-          (parts @ complement, None, 0.0)
-        end
+        else if List.for_all (fun (p : Ir.part) -> Generator.is_dense p.Ir.gen) parts then
+          (parts @ Lower.complement_parts shape base parts, None, 0.0)
         else (parts, Some base, 0.0)
   in
   let base_arr = Option.map (force_source st) base_src in
@@ -1403,11 +257,12 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
   let compiled =
     List.filter_map
       (fun (p : Ir.part) ->
-        if Generator.is_empty p.Ir.gen then None else Some (compile_part st ~ostrides p))
+        if Generator.is_empty p.Ir.gen then None
+        else Some (Plan.compile_part ~factor:st.factor ~line_buffers:st.line_buffers ~ostrides p))
       parts
   in
   let compile_cost = Clock.now () -. cstart -. (!child_time -. child0) in
-  let elements = List.fold_left (fun acc c -> acc + compiled_card c) 0 compiled in
+  let elements = List.fold_left (fun acc c -> acc + Plan.compiled_card c) 0 compiled in
   let out =
     match stolen with
     | Some (b, arr) ->
@@ -1416,100 +271,52 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
            makes any later force recompute instead of observing the
            in-place update. *)
         Ir.clear_cache b;
-        record_mode (Ir.Node b) (fun i -> OSteal i);
+        record_mode (Ir.Node b) (fun i -> Plan.OSteal i);
         arr
     | None ->
         let fully_covered = elements >= Shape.num_elements shape && base_src = None in
-        if fully_covered then pool_alloc shape
+        if fully_covered then Mempool.alloc shape
         else begin
           match (base_arr, base_src) with
           | Some base, Some src ->
-              let out = pool_alloc shape in
+              let out = Mempool.alloc shape in
               (match compiled with
-              | [ c ] when Generator.is_dense (compiled_gen c) ->
+              | [ c ] when Generator.is_dense (Plan.compiled_gen c) ->
                   (* Non-lowered modarray with one dense part: only
                      the complement of the part needs the base. *)
-                  let g = compiled_gen c in
-                  copy_complement base out g.Generator.lb g.Generator.ub;
+                  let g = Plan.compiled_gen c in
+                  Lower.copy_complement base out g.Generator.lb g.Generator.ub;
                   record_mode src (fun i ->
-                      OComplement (i, Array.copy g.Generator.lb, Array.copy g.Generator.ub))
+                      Plan.OComplement (i, Array.copy g.Generator.lb, Array.copy g.Generator.ub))
               | _ ->
                   Ndarray.blit ~src:base ~dst:out;
-                  record_mode src (fun i -> OBlit i));
+                  record_mode src (fun i -> Plan.OBlit i));
               out
           | _ ->
-              let out = pool_alloc shape in
+              let out = Mempool.alloc shape in
               Ndarray.fill out default;
-              mode := OFill default;
+              mode := Plan.OFill default;
               out
         end
   in
-  List.iter (exec_compiled st out) compiled;
+  exec_parts st out compiled;
   Ir.set_cache n out;
   (* Store the plan while producer caches are still alive (the slot
      mapping below reads them); [release_sources] may recycle them. *)
   (match record with
   | None -> ()
   | Some (key, bindings) ->
-      if not !cacheable then begin
-        Plan_cache.add plan_cache key CUncacheable;
-        Plan_cache.note_uncacheable ()
-      end
-      else begin
-        (* Buffer -> slot, skipping slot 0: that is [n] itself, whose
-           buffer coincides with a cluster's only through stealing, and
-           replaying through it would recurse. *)
-        let slot_buf =
-          let acc = ref [] in
-          for i = Array.length bindings - 1 downto 1 do
-            match bindings.(i) with
-            | Ir.Arr a -> acc := (a.Ndarray.data, i) :: !acc
-            | Ir.Node m -> (
-                match m.Ir.cache with
-                | Some arr -> acc := (arr.Ndarray.data, i) :: !acc
-                | None -> ())
-          done;
-          !acc
-        in
-        let slot_of_buf b =
-          List.find_map (fun (b', i) -> if b' == b then Some i else None) slot_buf
-        in
-        let ok = ref true in
-        let cparts =
-          List.filter_map
-            (function
-              | Cclosure _ ->
-                  ok := false;
-                  None
-              | Ccompiled cp ->
-                  let slots =
-                    Array.map
-                      (fun cl ->
-                        match slot_of_buf cl.xbuf with
-                        | Some i -> i
-                        | None ->
-                            ok := false;
-                            0)
-                      cp.kclusters
-                  in
-                  Some (strip_cpart cp, slots))
-            compiled
-        in
-        if !ok then begin
-          Plan_cache.add plan_cache key
-            (CPlan
-               { cmode = !mode;
-                 cparts = Array.of_list cparts;
-                 celements = elements;
-                 ccompile = compile_cost;
-               });
+      let entry =
+        if not !cacheable then None
+        else Plan.assemble ~bindings ~mode:!mode ~elements ~compile_cost compiled
+      in
+      match entry with
+      | Some p ->
+          Plan_cache.add plan_cache key (CPlan p);
           Plan_cache.note_miss ()
-        end
-        else begin
+      | None ->
           Plan_cache.add plan_cache key CUncacheable;
-          Plan_cache.note_uncacheable ()
-        end
-      end);
+          Plan_cache.note_uncacheable ());
   release_sources n;
   let total = Clock.now () -. t0 in
   let self = total -. !child_time in
@@ -1536,84 +343,31 @@ let apply_op = function
   | Fmin -> Float.min
   | Fcustom f -> f
 
-let fold_lin ~op ~init ~const (clusters : ccluster array) ~(counts : int array) =
-  let rank = Array.length counts in
-  let nc = Array.length clusters in
-  let acc = ref init in
-  if rank = 0 then begin
-    let v = ref const in
-    for ci = 0 to nc - 1 do
-      let cl = clusters.(ci) in
-      for gi = 0 to Array.length cl.xcoeffs - 1 do
-        v := !v +. (cl.xcoeffs.(gi) *. sum_deltas cl.xbuf cl.xbase cl.xdeltas.(gi))
-      done
-    done;
-    acc := op !acc !v
-  end
-  else begin
-    let cb = Array.make_matrix rank nc 0 in
-    let rec go axis (prev : int array) =
-      if axis = rank - 1 then begin
-        let os = counts.(axis) in
-        for k = 0 to os - 1 do
-          let v = ref const in
-          for ci = 0 to nc - 1 do
-            let cl = Array.unsafe_get clusters ci in
-            let b = Array.unsafe_get prev ci + (k * Array.unsafe_get cl.xsteps axis) in
-            let coeffs = cl.xcoeffs and deltas = cl.xdeltas in
-            for gi = 0 to Array.length coeffs - 1 do
-              let ds = Array.unsafe_get deltas gi in
-              let s = ref 0.0 in
-              for t = 0 to Array.length ds - 1 do
-                s := !s +. Bigarray.Array1.unsafe_get cl.xbuf (b + Array.unsafe_get ds t)
-              done;
-              v := !v +. (Array.unsafe_get coeffs gi *. !s)
-            done
-          done;
-          acc := op !acc !v
-        done
-      end
-      else begin
-        let row = cb.(axis) in
-        for k = 0 to counts.(axis) - 1 do
-          for ci = 0 to nc - 1 do
-            row.(ci) <- prev.(ci) + (k * clusters.(ci).xsteps.(axis))
-          done;
-          go (axis + 1) row
-        done
-      end
-    in
-    go 0 (Array.init nc (fun ci -> clusters.(ci).xbase));
-    ()
-  end;
-  !acc
-
 let eval_fold st ~op ~neutral gen body =
   let saved_child = !child_time in
   child_time := 0.0;
   let t0 = Clock.now () in
   let parts = Fusion.optimize st.fusion ~force:(force st) gen body in
   let f = apply_op op in
+  let interp acc (p : Ir.part) body =
+    let cf = Lower.closure_of body in
+    let acc = ref acc in
+    Generator.iter p.Ir.gen (fun iv -> acc := f !acc (cf iv));
+    !acc
+  in
   let result =
     List.fold_left
       (fun acc (p : Ir.part) ->
-        match make_plan st p.Ir.body with
-        | Plin { const; groups; body } -> (
-            match axes_of_gen p.Ir.gen with
+        match Lower.plan_of ~factor:st.factor p.Ir.body with
+        | Lower.Plin { const; groups; body } -> (
+            match Cluster.axes_of_gen p.Ir.gen with
             | Some ax -> (
-                match clusterize ax groups with
-                | Some clusters -> fold_lin ~op:f ~init:acc ~const clusters ~counts:ax.counts
-                | None ->
-                    let cf = closure_of body in
-                    let acc = ref acc in
-                    Generator.iter p.Ir.gen (fun iv -> acc := f !acc (cf iv));
-                    !acc)
-            | None ->
-                let cf = closure_of body in
-                let acc = ref acc in
-                Generator.iter p.Ir.gen (fun iv -> acc := f !acc (cf iv));
-                !acc)
-        | Pfun cf ->
+                match Cluster.clusterize ax groups with
+                | Some clusters ->
+                    Kernel.fold_lin ~op:f ~init:acc ~const clusters ~counts:ax.Cluster.counts
+                | None -> interp acc p body)
+            | None -> interp acc p body)
+        | Lower.Pfun cf ->
             let acc = ref acc in
             Generator.iter p.Ir.gen (fun iv -> acc := f !acc (cf iv));
             !acc)

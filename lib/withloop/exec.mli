@@ -1,14 +1,15 @@
-(** The with-loop executor: sac2c's code generator and runtime, in one.
+(** The with-loop executor driver: sac2c's code generator and runtime.
 
     Forcing a node runs the optimisation pipeline on each part
     ({!Fusion} folding, {!Linform} extraction and coefficient
     factoring), compiles the resulting bodies and executes them into a
-    freshly allocated result array.  Linear bodies compile to
-    incremental flat-index loop nests ("clusters" of reads off one
-    source with constant offsets — the shape of every NAS-MG stencil);
-    anything else falls back to a closure interpreter over absolute
-    index vectors.  Work is distributed over a {!Mg_smp.Domain_pool}
-    along axis 0 when a part is large enough.
+    freshly allocated result array.  The work is staged through the
+    pipeline modules — {!Lower} (bodies to plans), {!Cluster} (reads
+    to flat-index clusters), {!Kernel} (recognition and loop nests),
+    {!Plan} (compiled parts and cached plans), {!Backend} (piece
+    scheduling) and {!Mempool} (buffer recycling) — with this module
+    owning graph traversal, the plan-cache fast path, output-buffer
+    production and trace emission.
 
     Every force emits one {!Mg_smp.Trace} event carrying the node's own
     (self) execution time, excluding nested producer forces.
@@ -32,14 +33,20 @@ type settings = {
       (** Minimum index-space cardinality before a part is run in
           parallel — the paper's "below a certain threshold grid size
           … perform all operations sequentially" (§5). *)
+  sched : Mg_smp.Sched_policy.t;
+      (** Chunk shape for parallel parts (static block vs dynamically
+          claimed finer chunks). *)
+  backend : Backend.t;
+      (** Piece scheduler: the real domain pool or the sequential
+          tracing simulator.  Outputs are bitwise identical. *)
 }
 
 val force : settings -> Ir.node -> Ndarray.t
 (** Idempotent: cached after the first call. *)
 
 val cache_clear : unit -> unit
-(** Drop every stored plan (statistics are left untouched — use
-    {!Plan_cache.reset_stats}). *)
+(** Drop every stored plan and pooled buffer (statistics are left
+    untouched — use {!Plan_cache.reset_stats}). *)
 
 type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 
@@ -48,7 +55,9 @@ val eval_fold :
 (** SAC's [fold] with-loop: combine the body's value over every index
     of the generator, in row-major order starting from [neutral]. *)
 
-(** {1 Executor path counters} (diagnostics) *)
+(** {1 Executor path counters} (diagnostics)
+
+    Aliases of the {!Kernel} counters, kept here for compatibility. *)
 
 val hits_stencil : int ref
 (** Parts executed by the specialised box-stencil kernel. *)
@@ -67,3 +76,8 @@ val hits_interp : int ref
 
 val hits_cfun : int ref
 (** Parts executed by the closure interpreter (fallback). *)
+
+val counters : unit -> (string * int) list
+(** All counters as [(name, count)] pairs, in a stable order. *)
+
+val reset_counters : unit -> unit

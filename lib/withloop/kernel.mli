@@ -1,0 +1,80 @@
+(** Stage 3 of the executor pipeline: kernel recognition and loop nests.
+
+    A compiled part's clusters are inspected once, when the part is
+    compiled, and dispatched to one of the specialised rank-3 nests —
+    box stencil, line-buffered box stencil, element-wise zip,
+    flat-weighted, row blit — or the generic cluster nest.  The choice
+    is reified as an opaque {!k3} value that the plan cache stores and
+    replay rebinds, so recognition never runs twice for the same
+    with-loop. *)
+
+open Mg_ndarray
+
+(** {1 Path counters}
+
+    Incremented by {!run_k3} and the backends; read by tests and the
+    benchmark harness. *)
+
+val hits_stencil : int ref
+val hits_linebuf : int ref
+val hits_copy : int ref
+val hits_generic : int ref
+val hits_interp : int ref
+val hits_cfun : int ref
+
+val counters : unit -> (string * int) list
+(** All counters as [(name, count)] pairs, in a stable order. *)
+
+val reset_counters : unit -> unit
+
+(** {1 Rank-3 kernel dispatch} *)
+
+(** The kernel choice for a rank-3 part, decided once at compile time.
+    Stencil payloads carry cluster indices so they can be rebound. *)
+type k3
+
+val k3_name : k3 -> string
+
+val choose_k3 :
+  line_buffers:bool -> const:float -> Cluster.ccluster array -> osteps:int array -> k3
+(** Recognise the part's kernel: identity copy, box stencil (line
+    buffered when [line_buffers] and the inner walk is unit), zip of
+    single reads, flat-weighted single cluster, or generic. *)
+
+val rebind_k3 : Cluster.ccluster array -> koff:int -> k3 -> k3
+(** Rebuild a kernel payload against clusters that were rebound to
+    fresh buffers and/or base-shifted by [koff] outer-axis steps. *)
+
+val run_k3 :
+  const:float ->
+  k3 ->
+  Cluster.ccluster array ->
+  Ndarray.buffer ->
+  obase:int ->
+  osteps:int array ->
+  counts:int array ->
+  unit
+(** Execute the chosen nest over the given layouts, bumping the
+    matching path counter. *)
+
+(** {1 Generic paths} *)
+
+val run_lin_generic :
+  const:float ->
+  Cluster.ccluster array ->
+  Ndarray.buffer ->
+  obase:int ->
+  osteps:int array ->
+  counts:int array ->
+  unit
+(** Any-rank cluster nest for parts that are not rank 3. *)
+
+val fold_lin :
+  op:(float -> float -> float) ->
+  init:float ->
+  const:float ->
+  Cluster.ccluster array ->
+  counts:int array ->
+  float
+(** Fold the clusters' linear form over the iteration space without
+    materialising it (the fold with-loop's compiled path). *)

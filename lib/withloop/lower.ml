@@ -1,0 +1,148 @@
+open Mg_ndarray
+
+(* ------------------------------------------------------------------ *)
+(* Closure interpretation (fallback path)                              *)
+
+let rec closure_of (body : Ir.expr) : Shape.t -> float =
+  match body with
+  | Ir.Const c -> fun _ -> c
+  | Ir.Read (Ir.Arr a, m) ->
+      if Ixmap.is_identity m then fun iv -> Ndarray.get a iv
+      else fun iv -> Ndarray.get a (Ixmap.apply m iv)
+  | Ir.Read (Ir.Node _, _) ->
+      invalid_arg "Lower: unforced node reached the interpreter (fusion bug)"
+  | Ir.Neg e ->
+      let f = closure_of e in
+      fun iv -> -.f iv
+  | Ir.Sqrt e ->
+      let f = closure_of e in
+      fun iv -> Float.sqrt (f iv)
+  | Ir.Absf e ->
+      let f = closure_of e in
+      fun iv -> Float.abs (f iv)
+  | Ir.Add (a, b) ->
+      let fa = closure_of a and fb = closure_of b in
+      fun iv -> fa iv +. fb iv
+  | Ir.Sub (a, b) ->
+      let fa = closure_of a and fb = closure_of b in
+      fun iv -> fa iv -. fb iv
+  | Ir.Mul (a, b) ->
+      let fa = closure_of a and fb = closure_of b in
+      fun iv -> fa iv *. fb iv
+  | Ir.Divf (a, b) ->
+      let fa = closure_of a and fb = closure_of b in
+      fun iv -> fa iv /. fb iv
+  | Ir.Opaque f -> f
+
+(* ------------------------------------------------------------------ *)
+(* Linear plans                                                        *)
+
+let groups_of ~factor (lf : Linform.t) : (float * Linform.read list) list =
+  if factor then Linform.factor lf
+  else List.map (fun (c, r) -> (c, [ r ])) lf.Linform.terms
+
+type plan =
+  | Plin of { const : float; groups : (float * Linform.read list) list; body : Ir.expr }
+  | Pfun of (Shape.t -> float)
+
+let plan_of ~factor (body : Ir.expr) : plan =
+  match Linform.of_expr body with
+  | Some lf -> Plin { const = lf.Linform.const; groups = groups_of ~factor lf; body }
+  | None -> Pfun (closure_of body)
+
+(* ------------------------------------------------------------------ *)
+(* Box copies for modarray bases                                       *)
+
+let copy_box (src : Ndarray.t) (dst : Ndarray.t) (lb : Shape.t) (ub : Shape.t) =
+  let rank = Shape.rank lb in
+  let empty = ref false in
+  for j = 0 to rank - 1 do
+    if lb.(j) >= ub.(j) then empty := true
+  done;
+  if !empty then ()
+  else if rank = 0 then Ndarray.set_flat dst 0 (Ndarray.get_flat src 0)
+  else begin
+    let strides = src.Ndarray.strides in
+    let inner_len = ub.(rank - 1) - lb.(rank - 1) in
+    let rec go axis off =
+      if axis = rank - 1 then
+        let off = off + lb.(axis) in
+        Bigarray.Array1.blit
+          (Bigarray.Array1.sub src.Ndarray.data off inner_len)
+          (Bigarray.Array1.sub dst.Ndarray.data off inner_len)
+      else
+        for c = lb.(axis) to ub.(axis) - 1 do
+          go (axis + 1) (off + (c * strides.(axis)))
+        done
+    in
+    go 0 0
+  end
+
+(* Copy base into out everywhere outside the box [lb, ub). *)
+let copy_complement (base : Ndarray.t) (out : Ndarray.t) (lb : Shape.t) (ub : Shape.t) =
+  let shape = Ndarray.shape out in
+  let rank = Shape.rank shape in
+  (* Standard box-complement decomposition: for each axis, the slabs
+     below lb and above ub, with earlier axes restricted to the box. *)
+  for j = 0 to rank - 1 do
+    let slab_lb = Array.init rank (fun i -> if i < j then lb.(i) else 0) in
+    let slab_ub = Array.init rank (fun i -> if i < j then ub.(i) else shape.(i)) in
+    let low_ub = Array.copy slab_ub in
+    low_ub.(j) <- lb.(j);
+    copy_box base out slab_lb low_ub;
+    let high_lb = Array.copy slab_lb in
+    high_lb.(j) <- ub.(j);
+    copy_box base out high_lb slab_ub
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Modarray lowering: represent the base pass-through as explicit
+   complement parts reading the base, so that the fusion engine can
+   fold cheap bases (the SAC view of modarray as a full-partition
+   with-loop). *)
+
+(* Subtract a box from a box: up to 2*rank disjoint slabs. *)
+let subtract_box (lb, ub) (plb, pub) =
+  let rank = Array.length lb in
+  let overlap = ref true in
+  for j = 0 to rank - 1 do
+    if pub.(j) <= lb.(j) || plb.(j) >= ub.(j) then overlap := false
+  done;
+  if not !overlap then [ (lb, ub) ]
+  else begin
+    let slabs = ref [] in
+    let cur_lb = Array.copy lb and cur_ub = Array.copy ub in
+    for j = 0 to rank - 1 do
+      if plb.(j) > cur_lb.(j) then begin
+        let s_ub = Array.copy cur_ub in
+        s_ub.(j) <- plb.(j);
+        slabs := (Array.copy cur_lb, s_ub) :: !slabs;
+        cur_lb.(j) <- plb.(j)
+      end;
+      if pub.(j) < cur_ub.(j) then begin
+        let s_lb = Array.copy cur_lb in
+        s_lb.(j) <- pub.(j);
+        slabs := (s_lb, Array.copy cur_ub) :: !slabs;
+        cur_ub.(j) <- pub.(j)
+      end
+    done;
+    !slabs
+  end
+
+let complement_boxes shape (parts : Ir.part list) =
+  let rank = Shape.rank shape in
+  let whole = (Shape.replicate rank 0, Array.copy shape) in
+  List.fold_left
+    (fun boxes (p : Ir.part) ->
+      let plb = p.Ir.gen.Generator.lb and pub = p.Ir.gen.Generator.ub in
+      List.concat_map (fun box -> subtract_box box (plb, pub)) boxes)
+    [ whole ] parts
+
+let complement_parts shape (base : Ir.source) (parts : Ir.part list) =
+  let rank = Shape.rank shape in
+  List.filter_map
+    (fun (lb, ub) ->
+      let gen = Generator.make ~lb ~ub () in
+      if Generator.is_empty gen then None
+      else Some { Ir.gen; body = Ir.Read (base, Ixmap.identity rank) })
+    (complement_boxes shape parts)

@@ -1,0 +1,51 @@
+(** Stage 1 of the executor pipeline: part bodies to executable plans.
+
+    A with-loop body is lowered either to its {!Linform} linear form —
+    a constant plus coefficient-grouped array reads, the input of
+    {!Cluster} — or, when no linear form exists, to a closure over the
+    absolute index vector (the interpreter fallback).
+
+    This stage also owns modarray lowering: the base pass-through of a
+    dense modarray is expressed as explicit complement parts reading
+    the base, so the fusion engine can fold cheap bases instead of
+    copying them (the SAC view of modarray as a full-partition
+    with-loop). *)
+
+open Mg_ndarray
+
+val closure_of : Ir.expr -> Shape.t -> float
+(** Interpret a body as a function of the index vector.  All node
+    reads must already be forced ({!Ir.Arr} leaves only).
+    @raise Invalid_argument on an unforced {!Ir.Node} read. *)
+
+val groups_of : factor:bool -> Linform.t -> (float * Linform.read list) list
+(** Coefficient grouping: with [factor], reads sharing a coefficient
+    are summed once and multiplied once (27 mults → 4 for the NAS-MG
+    stencils); without, one group per read. *)
+
+type plan =
+  | Plin of { const : float; groups : (float * Linform.read list) list; body : Ir.expr }
+  | Pfun of (Shape.t -> float)
+
+val plan_of : factor:bool -> Ir.expr -> plan
+(** Linear form when one exists, closure otherwise. *)
+
+(** {1 Modarray lowering} *)
+
+val copy_box : Ndarray.t -> Ndarray.t -> Shape.t -> Shape.t -> unit
+(** [copy_box src dst lb ub] copies the box [lb, ub) row-blit-wise.
+    Both arrays must have the source's shape. *)
+
+val copy_complement : Ndarray.t -> Ndarray.t -> Shape.t -> Shape.t -> unit
+(** Copy [base] into [out] everywhere outside the box [lb, ub). *)
+
+val subtract_box :
+  Shape.t * Shape.t -> Shape.t * Shape.t -> (Shape.t * Shape.t) list
+(** Box difference as up to [2 * rank] disjoint slabs. *)
+
+val complement_boxes : Shape.t -> Ir.part list -> (Shape.t * Shape.t) list
+(** The complement of the parts' generator boxes within [shape]. *)
+
+val complement_parts : Shape.t -> Ir.source -> Ir.part list -> Ir.part list
+(** Explicit identity-read parts covering {!complement_boxes} — the
+    lowered form of a dense modarray's base pass-through. *)

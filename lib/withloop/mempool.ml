@@ -1,0 +1,59 @@
+open Mg_ndarray
+
+(* One process-wide pool guarded by a mutex: executor replays may run
+   concurrently on several domains, and even the sequential engine
+   recycles from inside parallel regions via release hooks.  The
+   critical sections only push/pop list cells; Bigarray allocation
+   happens outside the lock. *)
+
+let m = Mutex.create ()
+let pool : (int, Ndarray.buffer list ref) Hashtbl.t = Hashtbl.create 16
+let max_per_size = 8
+let recycled = ref 0
+let reused = ref 0
+
+let locked f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e
+
+let alloc shape =
+  let len = Shape.num_elements shape in
+  let hit =
+    locked (fun () ->
+        match Hashtbl.find_opt pool len with
+        | Some ({ contents = b :: rest } as cell) ->
+            cell := rest;
+            incr reused;
+            Some b
+        | _ -> None)
+  in
+  match hit with
+  | Some b -> Ndarray.of_buffer shape b
+  | None -> Ndarray.create_uninit shape
+
+let recycle (a : Ndarray.t) =
+  let len = Ndarray.size a in
+  if len > 0 then
+    locked (fun () ->
+        let cell =
+          match Hashtbl.find_opt pool len with
+          | Some cell -> cell
+          | None ->
+              let cell = ref [] in
+              Hashtbl.add pool len cell;
+              cell
+        in
+        if List.length !cell < max_per_size then begin
+          cell := a.Ndarray.data :: !cell;
+          incr recycled
+        end)
+
+let clear () = locked (fun () -> Hashtbl.reset pool)
+
+let stats () = (!reused, !recycled)

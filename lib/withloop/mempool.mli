@@ -1,0 +1,27 @@
+(** The executor's buffer pool — SAC's reference-count-driven memory
+    reuse.
+
+    SAC's runtime reference counting frees intermediate arrays the
+    moment their last consumer has executed; recycling those buffers
+    avoids both allocator traffic and first-touch page faults.  Only
+    buffers owned by node caches whose reference count reached zero
+    (and which never escaped through [Wl.force]) enter the pool.
+
+    All operations are safe to call from any domain: the free lists
+    are guarded by a mutex whose critical sections never allocate. *)
+
+open Mg_ndarray
+
+val alloc : Shape.t -> Ndarray.t
+(** A (possibly recycled, uninitialised) array of the given shape. *)
+
+val recycle : Ndarray.t -> unit
+(** Return a dead buffer to the pool.  The caller must guarantee no
+    live reference to the array remains; at most a bounded number of
+    buffers is kept per size class. *)
+
+val clear : unit -> unit
+(** Drop every pooled buffer. *)
+
+val stats : unit -> int * int
+(** [(reused, recycled)] counters since process start (diagnostics). *)

@@ -1,0 +1,171 @@
+open Mg_ndarray
+
+(* ------------------------------------------------------------------ *)
+(* Compiled parts.
+
+   A part is compiled once per force — linear-form extraction,
+   clustering, output layout and kernel choice — into a [cpart] that
+   executes by plain loop nests with no further analysis.  The compiled
+   form is also what the plan cache stores: it references buffers only
+   through its cluster array, which replay rebinds.  Parallel execution
+   shifts the compiled bases by whole outer-axis steps per piece
+   instead of re-deriving layouts piece by piece. *)
+
+type cpart = {
+  kgen : Generator.t;
+  kcard : int;
+  kconst : float;
+  kclusters : Cluster.ccluster array;
+  kkernel : Kernel.k3 option;  (* [Some] iff the part is rank 3 *)
+  kobase : int;
+  kosteps : int array;
+  kcounts : int array;
+}
+
+type compiled =
+  | Ccompiled of cpart
+  | Cclosure of Generator.t * int * Ir.expr  (* gen, cardinal, body *)
+
+let compiled_card = function Ccompiled c -> c.kcard | Cclosure (_, card, _) -> card
+let compiled_gen = function Ccompiled c -> c.kgen | Cclosure (g, _, _) -> g
+
+let compile_part ~factor ~line_buffers ~ostrides (p : Ir.part) : compiled =
+  let gen = p.Ir.gen in
+  let card = Generator.cardinal gen in
+  match Linform.of_expr p.Ir.body with
+  | None -> Cclosure (gen, card, p.Ir.body)
+  | Some lf -> (
+      let groups = Lower.groups_of ~factor lf in
+      let const = lf.Linform.const in
+      match Cluster.axes_of_gen gen with
+      | None -> Cclosure (gen, card, p.Ir.body)
+      | Some ax -> (
+          match Cluster.clusterize ax groups with
+          | None -> Cclosure (gen, card, p.Ir.body)
+          | Some clusters ->
+              let kobase, kosteps = Cluster.out_layout_of ~ostrides ax in
+              let kkernel =
+                if Array.length ax.Cluster.counts = 3 then
+                  Some (Kernel.choose_k3 ~line_buffers ~const clusters ~osteps:kosteps)
+                else None
+              in
+              Ccompiled
+                { kgen = gen;
+                  kcard = card;
+                  kconst = const;
+                  kclusters = clusters;
+                  kkernel;
+                  kobase;
+                  kosteps;
+                  kcounts = ax.Cluster.counts;
+                }))
+
+(* ------------------------------------------------------------------ *)
+(* Cached plans                                                        *)
+
+(* How the output buffer of a force is produced, with base sources
+   referenced by binding slot. *)
+type out_mode =
+  | OFresh  (** Fully covered: uninitialised allocation. *)
+  | OFill of float  (** Partial genarray: fill with the default. *)
+  | OBlit of int  (** Modarray: copy the whole base first. *)
+  | OComplement of int * Shape.t * Shape.t
+      (** Modarray with one dense part: copy the base outside [lb,ub). *)
+  | OSteal of int  (** Barrier modarray: update the base in place. *)
+
+type cplan = {
+  cmode : out_mode;
+  cparts : (cpart * int array) array;
+      (** Compiled parts with, per cluster, the binding slot its buffer
+          comes from.  Stored templates have their buffers stripped. *)
+  celements : int;
+  ccompile : float;  (** Seconds of optimisation/compilation a hit skips. *)
+}
+
+(* Stored templates must not pin the buffers of the force that created
+   them (a cached plan for a 258^3 operator would otherwise retain
+   ~500 MB of dead grids), so cluster buffers are replaced by a shared
+   zero-length dummy; replay rebinds before execution. *)
+let dummy_buf : Ndarray.buffer =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+
+let rebind_cpart (cpt : cpart) (rebuf : int -> Ndarray.buffer) =
+  let kclusters = Array.mapi (fun j cl -> Cluster.with_buffer cl (rebuf j)) cpt.kclusters in
+  { cpt with kclusters; kkernel = Option.map (Kernel.rebind_k3 kclusters ~koff:0) cpt.kkernel }
+
+let strip_cpart (cp : cpart) = rebind_cpart cp (fun _ -> dummy_buf)
+
+(* ------------------------------------------------------------------ *)
+(* Plan assembly                                                       *)
+
+let slot_of_source (bindings : Ir.source array) (s : Ir.source) =
+  let nb = Array.length bindings in
+  let rec go i =
+    if i >= nb then None
+    else
+      match (bindings.(i), s) with
+      | Ir.Node a, Ir.Node b when a == b -> Some i
+      | Ir.Arr a, Ir.Arr b when a.Ndarray.data == b.Ndarray.data -> Some i
+      | Ir.Arr a, Ir.Node b when
+          (match b.Ir.cache with Some arr -> arr.Ndarray.data == a.Ndarray.data | None -> false)
+        ->
+          (* A materialised node deduplicated against a leaf array. *)
+          Some i
+      | _ -> go (i + 1)
+  in
+  go 0
+
+(* Build the storable plan for one force: resolve each cluster buffer
+   to the binding slot it came from and strip the templates.  [None]
+   when a part stayed on the closure path or some buffer is not a
+   binding's (the force is uncacheable).  Must run while producer
+   caches are still alive — the executor may recycle them right
+   after. *)
+let assemble ~(bindings : Ir.source array) ~mode ~elements ~compile_cost compiled =
+  (* Buffer -> slot, skipping slot 0: that is the forced node itself,
+     whose buffer coincides with a cluster's only through stealing, and
+     replaying through it would recurse. *)
+  let slot_buf =
+    let acc = ref [] in
+    for i = Array.length bindings - 1 downto 1 do
+      match bindings.(i) with
+      | Ir.Arr a -> acc := (a.Ndarray.data, i) :: !acc
+      | Ir.Node m -> (
+          match m.Ir.cache with
+          | Some arr -> acc := (arr.Ndarray.data, i) :: !acc
+          | None -> ())
+    done;
+    !acc
+  in
+  let slot_of_buf b =
+    List.find_map (fun (b', i) -> if b' == b then Some i else None) slot_buf
+  in
+  let ok = ref true in
+  let cparts =
+    List.filter_map
+      (function
+        | Cclosure _ ->
+            ok := false;
+            None
+        | Ccompiled cp ->
+            let slots =
+              Array.map
+                (fun (cl : Cluster.ccluster) ->
+                  match slot_of_buf cl.Cluster.xbuf with
+                  | Some i -> i
+                  | None ->
+                      ok := false;
+                      0)
+                cp.kclusters
+            in
+            Some (strip_cpart cp, slots))
+      compiled
+  in
+  if !ok then
+    Some
+      { cmode = mode;
+        cparts = Array.of_list cparts;
+        celements = elements;
+        ccompile = compile_cost;
+      }
+  else None

@@ -1,0 +1,84 @@
+(** Stage 4 of the executor pipeline: compiled parts and cached plans.
+
+    [compile_part] turns an optimised with-loop part into a [cpart] —
+    clusters, output layout, chosen kernel — that executes by plain
+    loop nests with no further analysis.  The same representation is
+    what {!Plan_cache} stores: a [cplan] is the full recipe for one
+    force (output mode plus compiled parts with buffer slots), with
+    cluster buffers stripped so stored templates pin no dead grids;
+    replay rebinds via {!rebind_cpart}. *)
+
+open Mg_ndarray
+
+(** {1 Compiled parts} *)
+
+type cpart = {
+  kgen : Generator.t;
+  kcard : int;
+  kconst : float;
+  kclusters : Cluster.ccluster array;
+  kkernel : Kernel.k3 option;  (** [Some] iff the part is rank 3. *)
+  kobase : int;
+  kosteps : int array;
+  kcounts : int array;
+}
+
+type compiled =
+  | Ccompiled of cpart
+  | Cclosure of Generator.t * int * Ir.expr
+      (** Interpreter fallback: generator, cardinal, body. *)
+
+val compiled_card : compiled -> int
+val compiled_gen : compiled -> Generator.t
+
+val compile_part :
+  factor:bool -> line_buffers:bool -> ostrides:int array -> Ir.part -> compiled
+(** Linear-form extraction, clustering, output layout, kernel choice;
+    [Cclosure] when any stage fails to apply. *)
+
+(** {1 Cached plans} *)
+
+(** How the output buffer of a force is produced, with base sources
+    referenced by binding slot. *)
+type out_mode =
+  | OFresh  (** Fully covered: uninitialised allocation. *)
+  | OFill of float  (** Partial genarray: fill with the default. *)
+  | OBlit of int  (** Modarray: copy the whole base first. *)
+  | OComplement of int * Shape.t * Shape.t
+      (** Modarray with one dense part: copy the base outside [lb,ub). *)
+  | OSteal of int  (** Barrier modarray: update the base in place. *)
+
+type cplan = {
+  cmode : out_mode;
+  cparts : (cpart * int array) array;
+      (** Compiled parts with, per cluster, the binding slot its buffer
+          comes from. *)
+  celements : int;
+  ccompile : float;  (** Seconds of optimisation/compilation a hit skips. *)
+}
+
+val dummy_buf : Ndarray.buffer
+(** Shared zero-length buffer bound by stripped templates. *)
+
+val rebind_cpart : cpart -> (int -> Ndarray.buffer) -> cpart
+(** [rebind_cpart cp rebuf] rebinds cluster [j] to [rebuf j] and
+    rebuilds the kernel payload accordingly. *)
+
+val strip_cpart : cpart -> cpart
+(** Replace every cluster buffer by {!dummy_buf} (plan storage). *)
+
+val slot_of_source : Ir.source array -> Ir.source -> int option
+(** Index of a source among the key's bindings (physical identity,
+    including a materialised node deduplicated against a leaf). *)
+
+val assemble :
+  bindings:Ir.source array ->
+  mode:out_mode ->
+  elements:int ->
+  compile_cost:float ->
+  compiled list ->
+  cplan option
+(** Build the storable plan for one force: resolve each cluster buffer
+    to its binding slot and strip the templates.  [None] when a part
+    stayed on the closure path or a buffer is no binding's (the force
+    is uncacheable).  Must run while producer caches are alive. *)

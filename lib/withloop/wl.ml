@@ -26,6 +26,36 @@ let opt_level = ref O3
 let par_threshold = ref 16384
 let split_threshold = ref 2048
 let line_buffers = ref true
+let sched_policy = ref Mg_smp.Sched_policy.default
+let backend = ref Backend.default
+
+let set_sched_policy p = sched_policy := p
+let get_sched_policy () = !sched_policy
+
+let with_sched_policy p f =
+  let saved = !sched_policy in
+  sched_policy := p;
+  match f () with
+  | r ->
+      sched_policy := saved;
+      r
+  | exception e ->
+      sched_policy := saved;
+      raise e
+
+let set_backend b = backend := b
+let get_backend () = !backend
+
+let with_backend b f =
+  let saved = !backend in
+  backend := b;
+  match f () with
+  | r ->
+      backend := saved;
+      r
+  | exception e ->
+      backend := saved;
+      raise e
 
 let set_line_buffers b = line_buffers := b
 let get_line_buffers () = !line_buffers
@@ -75,6 +105,8 @@ let settings () : Exec.settings =
     line_buffers = !line_buffers;
     pool = Mg_smp.Domain_pool.get_global;
     par_threshold = !par_threshold;
+    sched = !sched_policy;
+    backend = !backend;
   }
 
 let of_ndarray a = Ir.Arr a

@@ -97,6 +97,23 @@ val set_line_buffers : bool -> unit
 val get_line_buffers : unit -> bool
 val with_line_buffers : bool -> (unit -> 'a) -> 'a
 
+val set_sched_policy : Mg_smp.Sched_policy.t -> unit
+(** Chunk shape for parallel with-loop parts (default
+    {!Mg_smp.Sched_policy.Static_block}): one block per worker, or
+    [Dynamic_chunked m] finer chunks claimed dynamically. *)
+
+val get_sched_policy : unit -> Mg_smp.Sched_policy.t
+val with_sched_policy : Mg_smp.Sched_policy.t -> (unit -> 'a) -> 'a
+
+val set_backend : Backend.t -> unit
+(** Piece-scheduling backend (default {!Backend.Pool}): the real
+    domain pool, or {!Backend.Smp_sim} — the identical split executed
+    sequentially with per-piece trace events for the SMP cost model.
+    Outputs are bitwise identical across backends. *)
+
+val get_backend : unit -> Backend.t
+val with_backend : Backend.t -> (unit -> 'a) -> 'a
+
 val settings : unit -> Exec.settings
 (** The executor settings corresponding to the current globals. *)
 

@@ -1,4 +1,11 @@
+(* MG_PROCS=n runs the whole suite with an n-domain worker pool, so CI
+   can exercise the parallel executor paths with the same tests. *)
 let () =
+  (match Option.bind (Sys.getenv_opt "MG_PROCS") int_of_string_opt with
+  | Some n when n >= 1 ->
+      Printf.printf "MG_PROCS=%d: running suite with %d-domain pool\n%!" n n;
+      Mg_withloop.Wl.set_threads n
+  | _ -> ());
   Alcotest.run "sac_mg"
     [ Test_shape.suite;
       Test_ndarray.suite;

@@ -162,6 +162,104 @@ let test_escaped_values_stable () =
   done;
   Alcotest.(check bool) "escaped array untouched" true (Ndarray.equal a snapshot)
 
+(* ------------------------------------------------------------------ *)
+(* Scheduling-policy / backend / domain-count bitwise identity.
+   Parallel execution splits a compiled part along axis 0 into pieces;
+   each element's arithmetic is unchanged by the split, so the output
+   must be bit-for-bit identical for every piece count — i.e. across
+   pool sizes, scheduling policies and backends. *)
+
+(* A 27-point box stencil body (the NAS-MG operator shape), which the
+   executor recognises and runs through the specialised kernels. *)
+let stencil27 w =
+  let coeff = [| -8.0 /. 3.0; 1.0 /. 8.0; 1.0 /. 6.0; 1.0 /. 12.0 |] in
+  let body = ref (E.const 0.0) in
+  for dz = -1 to 1 do
+    for dy = -1 to 1 do
+      for dx = -1 to 1 do
+        let c = coeff.(abs dz + abs dy + abs dx) in
+        body := E.(!body + (const c * read_offset w [| dz; dy; dx |]))
+      done
+    done
+  done;
+  !body
+
+let test_policies_backends_bitwise_identical () =
+  let n = 24 in
+  let shp = [| n; n; n |] in
+  let src = src_of_seed shp 42 in
+  let gen = Generator.interior shp 1 in
+  let saved_threads = Wl.get_threads () in
+  let force_with ~threads ~sched ~backend =
+    (* Fresh plans per configuration; par_threshold 1 forces the
+       parallel split even on this small grid. *)
+    Wl.cache_clear ();
+    Wl.set_threads threads;
+    Wl.set_par_threshold 1;
+    Fun.protect
+      ~finally:(fun () ->
+        Wl.set_par_threshold 16384;
+        Wl.set_threads saved_threads)
+      (fun () ->
+        Wl.with_sched_policy sched (fun () ->
+            Wl.with_backend backend (fun () ->
+                let w = Wl.of_ndarray src in
+                Ndarray.copy
+                  (Wl.force (Wl.genarray ~default:0.0 shp [ (gen, stencil27 w) ])))))
+  in
+  let reference =
+    force_with ~threads:1 ~sched:Mg_smp.Sched_policy.Static_block ~backend:Backend.default
+  in
+  List.iter
+    (fun threads ->
+      List.iter
+        (fun sched ->
+          List.iter
+            (fun (bname, backend) ->
+              let got = force_with ~threads ~sched ~backend in
+              Alcotest.(check bool)
+                (Printf.sprintf "bitwise identical: %d domains, %s, %s" threads
+                   (Mg_smp.Sched_policy.to_string sched)
+                   bname)
+                true (Ndarray.equal got reference))
+            [ ("pool", (module Backend.Pool : Backend.S));
+              ("smp_sim", (module Backend.Smp_sim : Backend.S));
+            ])
+        [ Mg_smp.Sched_policy.Static_block; Mg_smp.Sched_policy.Dynamic_chunked 3 ])
+    [ 1; 2; 4 ]
+
+(* The executor buffer pool is shared state hammered from worker
+   domains (replays recycle buffers inside parallel regions); this
+   drives it from several domains at once and checks it still hands
+   out usable arrays. *)
+let test_mempool_concurrent () =
+  Mempool.clear ();
+  let pool = Mg_smp.Domain_pool.create 4 in
+  let shp = [| 17; 13 |] in
+  Mg_smp.Domain_pool.parallel_for ~policy:(Mg_smp.Sched_policy.Dynamic_chunked 8) pool ~lo:0
+    ~hi:400 (fun lo hi ->
+      for i = lo to hi - 1 do
+        let a = Mempool.alloc shp in
+        Ndarray.fill a (float_of_int i);
+        let b = Mempool.alloc [| 64 |] in
+        Ndarray.fill b (float_of_int (i * 2));
+        (* Values written before recycling must still be there: no two
+           live allocations may share a buffer. *)
+        Alcotest.(check bool) "a intact" true (Ndarray.get a [| 3; 3 |] = float_of_int i);
+        Alcotest.(check bool) "b intact" true (Ndarray.get b [| 5 |] = float_of_int (i * 2));
+        Mempool.recycle a;
+        Mempool.recycle b
+      done);
+  Mg_smp.Domain_pool.shutdown pool;
+  let reused, recycled = Mempool.stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "pool cycled buffers (reused %d, recycled %d)" reused recycled)
+    true
+    (reused > 0 && recycled > 0);
+  let a = Mempool.alloc shp in
+  Ndarray.fill a 3.0;
+  Alcotest.(check (float 0.0)) "still usable after hammering" 3.0 (Ndarray.get a [| 0; 0 |])
+
 let test_force_twice_same_array () =
   let shp = [| 8 |] in
   let node = Mg_arraylib.Ops.genarray_const shp 4.0 in
@@ -176,5 +274,8 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_scaled_reads;
       Alcotest.test_case "recompute after recycle" `Quick test_recompute_after_recycle;
       Alcotest.test_case "escaped values stable" `Quick test_escaped_values_stable;
+      Alcotest.test_case "policies/backends bitwise identical" `Quick
+        test_policies_backends_bitwise_identical;
+      Alcotest.test_case "mempool concurrent hammer" `Quick test_mempool_concurrent;
       Alcotest.test_case "force twice, same array" `Quick test_force_twice_same_array;
     ] )
