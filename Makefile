@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke profile-smoke check bench clean
 
 all: build
 
@@ -14,7 +14,13 @@ test: build
 smoke: build
 	dune exec bin/mg_run.exe -- --impl sac --class S
 
-check: build test smoke
+# Exercise the observability pipeline: spans on, profile report to
+# stdout and a Perfetto-loadable Chrome trace to results/trace.json.
+profile-smoke: build
+	mkdir -p results
+	dune exec bin/mg_run.exe -- --impl sac --class W --profile=report,chrome:results/trace.json
+
+check: build test smoke profile-smoke
 
 bench: build
 	dune exec bench/main.exe

@@ -157,7 +157,7 @@ let () =
          Json.Obj
            (List.map
               (fun (name, count) -> ("hits_" ^ name, Json.Int count))
-              (Mg_withloop.Exec.counters ())));
+              (Mg_withloop.Kernel.counters ())));
         ("plan_cache",
          Json.Obj
            [ ("hits", Json.Int cstats.Mg_withloop.Plan_cache.hits);
@@ -166,6 +166,25 @@ let () =
              ("uncacheable", Json.Int cstats.Mg_withloop.Plan_cache.uncacheable);
              ("saved_seconds", Json.Float cstats.Mg_withloop.Plan_cache.saved_seconds);
            ]);
+        (* The whole metrics registry, so new instruments land in the
+           bench record without touching this file again. *)
+        ("metrics",
+         Json.Obj
+           (List.map
+              (fun (name, v) ->
+                ( name,
+                  match v with
+                  | Mg_obs.Metrics.Counter n -> Json.Int n
+                  | Mg_obs.Metrics.Gauge g -> Json.Float g
+                  | Mg_obs.Metrics.Histogram h ->
+                      Json.Obj
+                        [ ("count", Json.Int h.Mg_obs.Metrics.count);
+                          ("sum", Json.Int h.Mg_obs.Metrics.sum);
+                          ("buckets",
+                           Json.List
+                             (Array.to_list (Array.map (fun c -> Json.Int c) h.Mg_obs.Metrics.buckets)));
+                        ] ))
+              (Mg_obs.Metrics.dump ())));
         ("results",
          Json.List
            (List.map

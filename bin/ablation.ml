@@ -132,7 +132,15 @@ let memory_ablation (cls : Classes.t) =
     cstats.Mg_withloop.Plan_cache.evictions cstats.Mg_withloop.Plan_cache.uncacheable
     (cstats.Mg_withloop.Plan_cache.saved_seconds *. 1e3);
   if Sys.getenv_opt "WL_DEBUG_COUNTERS" <> None then
-    List.iter (fun (k, v) -> Printf.printf "# counter %-24s %d\n" k v) (Trace.counters ())
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Mg_obs.Metrics.Counter n -> Printf.printf "# counter %-24s %d\n" k n
+        | Mg_obs.Metrics.Gauge g -> Printf.printf "# gauge   %-24s %g\n" k g
+        | Mg_obs.Metrics.Histogram h ->
+            Printf.printf "# histo   %-24s count=%d sum=%d\n" k h.Mg_obs.Metrics.count
+              h.Mg_obs.Metrics.sum)
+      (Mg_obs.Metrics.dump ())
 
 (* E8: the §7 "future work" — direct periodic relaxation on bare grids
    (Mg_periodic) against the border-based benchmark program (Mg_sac). *)

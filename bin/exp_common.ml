@@ -45,6 +45,25 @@ let sched_arg =
           "Loop scheduling policy for parallel with-loop parts: block (one static chunk per \
            worker) or chunked:M (M dynamically claimed chunks per worker).")
 
+let profile_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Record executor spans ({!Mg_obs}) during the measured runs and print the \
+           span-based profile report after the table.")
+
+(* Run the whole experiment under span observation and append the
+   profile report (per pipeline stage, per V-cycle level, per domain). *)
+let with_profile enabled f =
+  if not enabled then f ()
+  else begin
+    Mg_obs.Span.clear ();
+    let r = Mg_withloop.Wl.with_observe true f in
+    Format.printf "@.%s%!" (Mg_obs.Profile_report.render (Mg_obs.Span.events ()));
+    r
+  end
+
 let header () =
   Printf.printf "# %s\n# %s\n" (Mg_bench_util.Bench_util.Env.description ())
     (let t = Unix.gmtime (Unix.time ()) in

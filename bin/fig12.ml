@@ -24,7 +24,8 @@ let paper_p10 (cls : Classes.t) impl =
   | "A", Driver.C -> Some 9.0
   | _ -> None
 
-let run classes max_procs sched csv =
+let run classes max_procs sched profile csv =
+  Exp_common.with_profile profile @@ fun () ->
   Mg_withloop.Wl.with_sched_policy sched @@ fun () ->
   Exp_common.header ();
   Printf.printf
@@ -80,6 +81,6 @@ let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" 
 let cmd =
   Cmd.v
     (Cmd.info "fig12" ~doc:"reproduce Fig. 12: speedups vs own sequential time (simulated SMP)")
-    Term.(const run $ classes_arg $ procs_arg $ Exp_common.sched_arg $ csv_arg)
+    Term.(const run $ classes_arg $ procs_arg $ Exp_common.sched_arg $ Exp_common.profile_arg $ csv_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,7 +10,8 @@ open Mg_core
 module Table = Mg_bench_util.Bench_util.Table
 module Smp_sim = Mg_smp.Smp_sim
 
-let run classes max_procs sched csv =
+let run classes max_procs sched profile csv =
+  Exp_common.with_profile profile @@ fun () ->
   Mg_withloop.Wl.with_sched_policy sched @@ fun () ->
   Exp_common.header ();
   Printf.printf "# Figure 13: simulated speedups vs sequential Fortran-77 time\n";
@@ -130,6 +131,6 @@ let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" 
 let cmd =
   Cmd.v
     (Cmd.info "fig13" ~doc:"reproduce Fig. 13: speedups vs sequential Fortran-77 (simulated SMP)")
-    Term.(const run $ classes_arg $ procs_arg $ Exp_common.sched_arg $ csv_arg)
+    Term.(const run $ classes_arg $ procs_arg $ Exp_common.sched_arg $ Exp_common.profile_arg $ csv_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,13 +1,46 @@
 (* mg_run: run one NAS-MG configuration and report timing and
    verification, exactly as the reference benchmark binaries do.
 
-     mg_run --impl sac --class S --opt O3 --threads 1 [--profile]
+     mg_run --impl sac --class S --opt O3 --threads 1
+            [--profile[=MODE,...]]
 
-   With --profile, the per-operation trace is printed (one line per
-   array operation / routine call) together with a per-tag summary. *)
+   Profile modes (comma-combinable):
+     trace        per-operation Trace events with a per-tag summary
+     report       the span-based profile report (per stage / level /
+                  domain; the default for a bare --profile)
+     chrome:PATH  write a Chrome trace_event JSON for chrome://tracing
+                  or Perfetto, one lane per domain. *)
 
 open Mg_core
 module Trace = Mg_smp.Trace
+module Span = Mg_obs.Span
+
+type profile_mode = Ptrace | Preport | Pchrome of string
+
+let parse_profile s =
+  let mode m =
+    match m with
+    | "trace" -> Some Ptrace
+    | "report" -> Some Preport
+    | _ when String.length m > 7 && String.sub m 0 7 = "chrome:" ->
+        Some (Pchrome (String.sub m 7 (String.length m - 7)))
+    | _ -> None
+  in
+  let ms = List.map mode (String.split_on_char ',' s) in
+  if List.for_all Option.is_some ms then Some (List.filter_map Fun.id ms) else None
+
+let print_trace (events : Trace.event list) =
+  Format.printf "@.Per-operation trace (%d events):@." (List.length events);
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let key = Printf.sprintf "%s@%d" ev.Trace.tag ev.Trace.level_extent in
+      let t, c = try Hashtbl.find tbl key with Not_found -> (0.0, 0) in
+      Hashtbl.replace tbl key (t +. ev.Trace.seq_seconds, c + 1))
+    events;
+  let rows = Hashtbl.fold (fun tag (t, c) acc -> (tag, t, c) :: acc) tbl [] in
+  let rows = List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows in
+  List.iter (fun (tag, t, c) -> Format.printf "  %-20s %6d calls  %9.4f s@." tag c t) rows
 
 let run impl cls opt threads sched backend profile custom_nx custom_nit =
   let cls =
@@ -17,21 +50,30 @@ let run impl cls opt threads sched backend profile custom_nx custom_nit =
           ~nit:(Option.value nit ~default:4)
     | None, _ -> cls
   in
-  let result = Driver.run ~opt ~threads ~sched ~backend ~trace:profile ~impl ~cls () in
+  let modes = Option.value profile ~default:[] in
+  let trace = List.mem Ptrace modes in
+  let observe = List.exists (function Preport | Pchrome _ -> true | Ptrace -> false) modes in
+  let drive () = Driver.run ~opt ~threads ~sched ~backend ~trace ~impl ~cls () in
+  let result =
+    if observe then begin
+      Span.clear ();
+      Mg_withloop.Wl.with_observe true drive
+    end
+    else drive ()
+  in
   Format.printf "@[%a@]@." Driver.pp_result result;
-  if profile then begin
-    Format.printf "@.Per-operation trace (%d events):@." (List.length result.Driver.events);
-    let tbl = Hashtbl.create 16 in
-    List.iter
-      (fun (ev : Trace.event) ->
-        let key = Printf.sprintf "%s@%d" ev.Trace.tag ev.Trace.level_extent in
-        let t, c = try Hashtbl.find tbl key with Not_found -> (0.0, 0) in
-        Hashtbl.replace tbl key (t +. ev.Trace.seq_seconds, c + 1))
-      result.Driver.events;
-    let rows = Hashtbl.fold (fun tag (t, c) acc -> (tag, t, c) :: acc) tbl [] in
-    let rows = List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows in
-    List.iter (fun (tag, t, c) -> Format.printf "  %-20s %6d calls  %9.4f s@." tag c t) rows
-  end;
+  if trace then print_trace result.Driver.events;
+  let spans = if observe then Span.events () else [] in
+  List.iter
+    (function
+      | Ptrace -> ()
+      | Preport ->
+          Format.printf "@.%s" (Mg_obs.Profile_report.render ~wall_seconds:result.Driver.seconds spans)
+      | Pchrome path ->
+          Mg_obs.Chrome_trace.write_file path spans;
+          Format.printf "@.Chrome trace: %s (%d spans, %d dropped); load in chrome://tracing or Perfetto.@."
+            path (List.length spans) (Span.dropped ()))
+    modes;
   if Verify.status_ok result.Driver.status then 0 else 1
 
 open Cmdliner
@@ -100,7 +142,33 @@ let backend_arg =
            ~doc:"Piece-scheduling backend: pool (real worker domains) or smp_sim (the same \
                  split run sequentially with per-piece trace events).")
 
-let profile_arg = Arg.(value & flag & info [ "profile" ] ~doc:"Record and print the operation trace.")
+let profile_conv =
+  let parse s =
+    match parse_profile s with
+    | Some ms -> Ok ms
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown profile mode in %S (trace|report|chrome:PATH, comma-separated)" s))
+  in
+  let print ppf ms =
+    Format.pp_print_string ppf
+      (String.concat ","
+         (List.map
+            (function Ptrace -> "trace" | Preport -> "report" | Pchrome p -> "chrome:" ^ p)
+            ms))
+  in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  Arg.(value
+       & opt ~vopt:(Some [ Preport ]) (some profile_conv) None
+       & info [ "profile" ] ~docv:"MODE"
+           ~doc:"Profile the run.  $(docv) is a comma-separated subset of: $(b,trace) (the \
+                 per-operation Trace events), $(b,report) (span-based per-stage / per-level / \
+                 per-domain report; the default for a bare $(b,--profile)), and \
+                 $(b,chrome:PATH) (write a Chrome trace_event JSON loadable in \
+                 chrome://tracing or Perfetto).")
 
 let nx_arg =
   Arg.(value & opt (some int) None & info [ "nx" ] ~docv:"N" ~doc:"Custom grid extent (power of two; overrides --class).")

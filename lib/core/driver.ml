@@ -32,11 +32,15 @@ let run ?opt ?(threads = 1) ?sched ?backend ?(trace = false) ~impl ~cls () =
   (match backend with Some b -> Wl.set_backend b | None -> ());
   Wl.set_threads threads;
   let body () =
-    match impl with
-    | Sac -> Mg_sac.run cls
-    | F77 -> Mg_f77.run cls
-    | C -> Mg_c.run cls
-    | Periodic -> Mg_periodic.run cls
+    Mg_obs.Span.with_
+      ~attrs:[ ("impl", impl_to_string impl); ("class", cls.Classes.name) ]
+      ~name:"driver:run"
+      (fun () ->
+        match impl with
+        | Sac -> Mg_sac.run cls
+        | F77 -> Mg_f77.run cls
+        | C -> Mg_c.run cls
+        | Periodic -> Mg_periodic.run cls)
   in
   let events, (rnm2, seconds) =
     if trace then Trace.with_collector body else ([], body ())

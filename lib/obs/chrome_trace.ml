@@ -1,0 +1,94 @@
+(* Trace Event Format (the "JSON Array Format" with a traceEvents
+   wrapper), as documented by the Chromium project and consumed by
+   chrome://tracing and Perfetto.  Only string attribute values are
+   emitted, so escaping stays minimal but correct. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Microseconds with nanosecond resolution kept as three decimals. *)
+let us_of ~origin_ns t =
+  let d = Int64.sub t origin_ns in
+  Printf.sprintf "%Ld.%03Ld" (Int64.div d 1000L) (Int64.rem d 1000L)
+
+let add_args buf attrs =
+  Buffer.add_string buf {|,"args":{|};
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":"%s"|} (escape k) (escape v)))
+    attrs;
+  Buffer.add_char buf '}'
+
+let lanes evs =
+  List.sort_uniq compare (List.map (fun (e : Span.event) -> e.Span.lane) evs)
+
+let to_string ?origin_ns (evs : Span.event list) =
+  let origin_ns =
+    match origin_ns with
+    | Some t -> t
+    | None ->
+        List.fold_left (fun acc (e : Span.event) -> min acc e.Span.start_ns)
+          (match evs with [] -> 0L | e :: _ -> e.Span.start_ns)
+          evs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"traceEvents":[|};
+  let first = ref true in
+  let emit_line s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf s
+  in
+  (* Lane labels first, one metadata event per domain. *)
+  List.iter
+    (fun lane ->
+      emit_line
+        (Printf.sprintf
+           {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"domain-%d"}}|}
+           lane lane))
+    (lanes evs);
+  List.iter
+    (fun (e : Span.event) ->
+      let line = Buffer.create 128 in
+      if Int64.equal e.Span.start_ns e.Span.end_ns then
+        Buffer.add_string line
+          (Printf.sprintf {|{"name":"%s","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d|}
+             (escape e.Span.name)
+             (us_of ~origin_ns e.Span.start_ns)
+             e.Span.lane)
+      else begin
+        let dur =
+          let d = Span.duration_ns e in
+          Printf.sprintf "%Ld.%03Ld" (Int64.div d 1000L) (Int64.rem d 1000L)
+        in
+        Buffer.add_string line
+          (Printf.sprintf {|{"name":"%s","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d|}
+             (escape e.Span.name)
+             (us_of ~origin_ns e.Span.start_ns)
+             dur e.Span.lane)
+      end;
+      if e.Span.attrs <> [] then add_args line e.Span.attrs;
+      Buffer.add_char line '}';
+      emit_line (Buffer.contents line))
+    evs;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write_file ?origin_ns path evs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?origin_ns evs))

@@ -1,0 +1,15 @@
+(** Chrome [trace_event] exporter.
+
+    Serialises {!Span.event}s into the JSON Trace Event Format that
+    [chrome://tracing] and Perfetto load: one complete ("X") event per
+    span, one lane ([tid]) per recording domain, zero-duration spans as
+    instant ("i") markers, plus [thread_name] metadata so lanes are
+    labelled [domain-N].  Timestamps are microseconds relative to the
+    earliest event (or [origin_ns]), so output is deterministic for a
+    fixed event list — the golden test compares the full string. *)
+
+val to_string : ?origin_ns:int64 -> Span.event list -> string
+(** The complete JSON document.  [origin_ns] defaults to the earliest
+    [start_ns] in the list. *)
+
+val write_file : ?origin_ns:int64 -> string -> Span.event list -> unit

@@ -1,0 +1,129 @@
+type counter = { cname : string; cell : int Atomic.t }
+type gauge = { gname : string; bits : int64 Atomic.t }
+
+(* 63 buckets: bucket i counts v with 2^i <= v < 2^(i+1) (bucket 0 also
+   takes v <= 1), which covers every non-negative int. *)
+let nbuckets = 63
+
+type histogram = { hname : string; buckets : int Atomic.t array; sum : int Atomic.t }
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let registry_m = Mutex.create ()
+
+let intern name make =
+  Mutex.lock registry_m;
+  let i =
+    match Hashtbl.find_opt registry name with
+    | Some i -> i
+    | None ->
+        let i = make () in
+        Hashtbl.add registry name i;
+        i
+  in
+  Mutex.unlock registry_m;
+  i
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+let counter name =
+  match intern name (fun () -> C { cname = name; cell = Atomic.make 0 }) with
+  | C c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let add c d = ignore (Atomic.fetch_and_add c.cell d)
+let value c = Atomic.get c.cell
+let set_counter c v = Atomic.set c.cell v
+let counter_name c = c.cname
+
+(* ------------------------------------------------------------------ *)
+(* Gauges (float payload stored as bits; accumulate via CAS)           *)
+
+let gauge name =
+  match intern name (fun () -> G { gname = name; bits = Atomic.make 0L }) with
+  | G g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let set_gauge g v = Atomic.set g.bits (Int64.bits_of_float v)
+
+let add_gauge g d =
+  let rec go () =
+    let old = Atomic.get g.bits in
+    let nv = Int64.bits_of_float (Int64.float_of_bits old +. d) in
+    if not (Atomic.compare_and_set g.bits old nv) then go ()
+  in
+  go ()
+
+let gauge_value g = Int64.float_of_bits (Atomic.get g.bits)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let histogram name =
+  match
+    intern name (fun () ->
+        H
+          { hname = name;
+            buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+            sum = Atomic.make 0;
+          })
+  with
+  | H h -> h
+  | _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    (* floor(log2 v): position of the highest set bit. *)
+    let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+    min (nbuckets - 1) (go v 0)
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl i
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.sum (max 0 v))
+
+type histogram_snapshot = { buckets : int array; count : int; sum : int }
+
+let histogram_snapshot (h : histogram) =
+  let raw = Array.map Atomic.get h.buckets in
+  let last = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then last := i) raw;
+  let buckets = Array.sub raw 0 (!last + 1) in
+  { buckets; count = Array.fold_left ( + ) 0 buckets; sum = Atomic.get h.sum }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type value = Counter of int | Gauge of float | Histogram of histogram_snapshot
+
+let dump () =
+  Mutex.lock registry_m;
+  let all = Hashtbl.fold (fun k i acc -> (k, i) :: acc) registry [] in
+  Mutex.unlock registry_m;
+  all
+  |> List.map (fun (k, i) ->
+         ( k,
+           match i with
+           | C c -> Counter (value c)
+           | G g -> Gauge (gauge_value g)
+           | H h -> Histogram (histogram_snapshot h) ))
+  |> List.sort compare
+
+let reset () =
+  Mutex.lock registry_m;
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> Atomic.set c.cell 0
+      | G g -> Atomic.set g.bits 0L
+      | H h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.sum 0)
+    registry;
+  Mutex.unlock registry_m

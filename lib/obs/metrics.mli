@@ -1,0 +1,73 @@
+(** Typed metrics registry: atomic counters, gauges and log-bucketed
+    histograms.
+
+    This subsumes the former ad-hoc diagnostics — the [Kernel.hits_*]
+    [int ref]s (which raced when bumped from pool domains) and the
+    [Trace] named-counter table — behind one process-wide registry.
+    All mutation is on {!Stdlib.Atomic} cells, so instruments may be
+    bumped concurrently from {!Mg_smp.Domain_pool} workers; creation
+    interns by name under a mutex, so [counter name] returns the same
+    cell everywhere. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Counters} *)
+
+val counter : string -> counter
+(** Find-or-create the named counter (atomic int, starts at 0). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val set_counter : counter -> int -> unit
+val counter_name : counter -> string
+
+(** {1 Gauges} *)
+
+val gauge : string -> gauge
+(** Find-or-create the named gauge (atomic float, starts at 0). *)
+
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+(** Atomic accumulate (CAS loop). *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Fixed log-scaled buckets: bucket [i] counts observations [v] with
+    [2^i <= v < 2^(i+1)] (bucket 0 also absorbs [v <= 1]); 63 buckets
+    cover the whole non-negative [int] range.  Observations are
+    dimensionless ints — by convention nanoseconds or elements. *)
+
+val histogram : string -> histogram
+(** Find-or-create the named histogram. *)
+
+val observe : histogram -> int -> unit
+
+val bucket_of : int -> int
+(** The bucket index an observation lands in. *)
+
+val bucket_lo : int -> int
+(** Inclusive lower edge of bucket [i] ([0] for bucket 0, else [2^i]). *)
+
+type histogram_snapshot = { buckets : int array; count : int; sum : int }
+
+val histogram_snapshot : histogram -> histogram_snapshot
+(** [buckets] is trimmed to the last non-empty bucket. *)
+
+(** {1 Registry} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_snapshot
+
+val dump : unit -> (string * value) list
+(** Every registered instrument with its current value, sorted by
+    name. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations are kept). *)

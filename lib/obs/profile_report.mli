@@ -1,0 +1,19 @@
+(** Human-readable profile report over recorded spans.
+
+    Four sections: a pipeline-stage summary (per span name: calls,
+    self time — child spans subtracted — and total time), a per-level
+    table (spans carrying an ["extent"] attribute, grouped by V-cycle
+    level: elements, self ns/elt, kernel paths, plan-cache hits), the
+    per-domain utilisation (fraction of the observed window each lane
+    spent inside spans), and the current {!Metrics} registry. *)
+
+val self_times : Span.event list -> (Span.event * int64) list
+(** Each event paired with its self time (duration minus immediate
+    children on the same lane), in input order per lane. *)
+
+val pp : ?wall_seconds:float -> Format.formatter -> Span.event list -> unit
+(** [wall_seconds], when given, is the externally measured wall time
+    the per-level total is compared against (e.g. the benchmark's
+    timed-phase seconds); the observed window is used otherwise. *)
+
+val render : ?wall_seconds:float -> Span.event list -> string

@@ -28,12 +28,17 @@ let run_chunks t job =
     if k >= nranges then continue := false
     else begin
       let lo, hi = job.ranges.(k) in
-      try job.body lo hi
-      with e ->
-        Atomic.set job.failed true;
-        Mutex.lock t.m;
-        if job.exn = None then job.exn <- Some e;
-        Mutex.unlock t.m
+      let span = Mg_obs.Span.start () in
+      (try job.body lo hi
+       with e ->
+         Atomic.set job.failed true;
+         Mutex.lock t.m;
+         if job.exn = None then job.exn <- Some e;
+         Mutex.unlock t.m);
+      if Mg_obs.Span.active span then
+        Mg_obs.Span.stop
+          ~attrs:[ ("lo", string_of_int lo); ("hi", string_of_int hi) ]
+          ~name:"pool:chunk" span
     end
   done
 

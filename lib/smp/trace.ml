@@ -32,21 +32,3 @@ let total_seconds evs = List.fold_left (fun acc ev -> acc +. ev.seq_seconds) 0.0
 let pp_event ppf ev =
   Format.fprintf ppf "%-24s %10d elts  %9.6fs  %8d B  par=%b  n=%d" ev.tag ev.elements
     ev.seq_seconds ev.bytes_alloc ev.parallel ev.level_extent
-
-(* Named counters: cheap always-on tallies (cache hits, kernel
-   dispatch counts, …) that don't warrant a full event per increment.
-   Only bumped from the forcing thread, so plain refs suffice. *)
-
-let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16
-
-let bump name d =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some r -> r := !r + d
-  | None -> Hashtbl.add counters_tbl name (ref d)
-
-let counter name = match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
-
-let counters () =
-  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl [])
-
-let reset_counters () = Hashtbl.reset counters_tbl

@@ -26,8 +26,9 @@ type event = {
 
 val emit : event -> unit
 (** Send an event to the current sink (a no-op when tracing is off).
-    Emission costs one monotonic-clock read at call sites even when
-    disabled; call sites should guard hot inner loops with {!enabled}. *)
+    [emit] itself never reads the clock; call sites must guard their
+    own timestamping with {!enabled} (or the span flag) so a disabled
+    trace costs no monotonic-clock reads — the executor does. *)
 
 val enabled : unit -> bool
 
@@ -43,20 +44,7 @@ val set_sink : (event -> unit) option -> unit
 val total_seconds : event list -> float
 val pp_event : Format.formatter -> event -> unit
 
-(** {1 Named counters}
-
-    Always-on integer tallies for events too frequent (or too cheap) to
-    justify a full {!event} each — executor kernel dispatch counts, plan
-    cache hits/misses, ….  Not synchronised: bump only from the thread
-    that owns the counted machinery. *)
-
-val bump : string -> int -> unit
-(** [bump name d] adds [d] to the named counter, creating it at 0. *)
-
-val counter : string -> int
-(** Current value ([0] for a counter never bumped). *)
-
-val counters : unit -> (string * int) list
-(** All counters, sorted by name. *)
-
-val reset_counters : unit -> unit
+(** Integer tallies (kernel dispatch counts, plan-cache hits, …) that
+    used to live here as unsynchronised named counters now live in
+    {!Mg_obs.Metrics}: typed, atomic, and safe to bump from pool
+    domains. *)

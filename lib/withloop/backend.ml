@@ -3,6 +3,7 @@ module Trace = Mg_smp.Trace
 module Clock = Mg_smp.Clock
 module Domain_pool = Mg_smp.Domain_pool
 module Sched_policy = Mg_smp.Sched_policy
+module Span = Mg_obs.Span
 
 (* Execution context a backend receives per force: the worker pool,
    the scheduling policy deciding the chunk shape, and the minimum
@@ -36,7 +37,7 @@ let prepare (c : Plan.compiled) =
       Pf (Lower.closure_of body)
 
 let run_closure_piece (out : Ndarray.t) (f : Shape.t -> float) (g : Generator.t) =
-  incr Kernel.hits_cfun;
+  Mg_obs.Metrics.incr Kernel.c_cfun;
   let shape = Ndarray.shape out in
   Generator.iter g (fun iv -> Ndarray.set_flat out (Shape.ravel ~shape iv) (f iv))
 
@@ -105,7 +106,13 @@ module Pool : S = struct
            Domain_pool.parallel_for ~policy:ctx.sched ctx.pool ~lo:0
              ~hi:(Array.length pieces) (fun lo hi ->
                for i = lo to hi - 1 do
-                 body i
+                 let sp = Span.start () in
+                 body i;
+                 if Span.active sp then
+                   Span.stop
+                     ~attrs:
+                       [ ("elements", string_of_int (Generator.cardinal pieces.(i))) ]
+                     ~name:"backend:piece" sp
                done)))
       parts
 end
@@ -125,22 +132,27 @@ module Smp_sim : S = struct
     List.iter
       (run_compiled ctx out ~run_split:(fun _ctx pieces body ->
            for i = 0 to Array.length pieces - 1 do
-             if Trace.enabled () then begin
-               let t0 = Clock.now () in
-               body i;
-               let piece = pieces.(i) in
-               Trace.emit
-                 { Trace.tag = "backend:piece";
-                   elements = Generator.cardinal piece;
-                   seq_seconds = Clock.now () -. t0;
-                   bytes_alloc = 0;
-                   parallel = false;
-                   level_extent =
-                     (let c = Generator.counts piece in
-                      if Array.length c = 0 then 0 else c.(0));
-                 }
-             end
-             else body i
+             let sp = Span.start () in
+             (if Trace.enabled () then begin
+                let t0 = Clock.now () in
+                body i;
+                let piece = pieces.(i) in
+                Trace.emit
+                  { Trace.tag = "backend:piece";
+                    elements = Generator.cardinal piece;
+                    seq_seconds = Clock.now () -. t0;
+                    bytes_alloc = 0;
+                    parallel = false;
+                    level_extent =
+                      (let c = Generator.counts piece in
+                       if Array.length c = 0 then 0 else c.(0));
+                  }
+              end
+              else body i);
+             if Span.active sp then
+               Span.stop
+                 ~attrs:[ ("elements", string_of_int (Generator.cardinal pieces.(i))) ]
+                 ~name:"backend:piece" sp
            done))
       parts
 end

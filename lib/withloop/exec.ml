@@ -3,6 +3,7 @@ module Trace = Mg_smp.Trace
 module Clock = Mg_smp.Clock
 module Domain_pool = Mg_smp.Domain_pool
 module Sched_policy = Mg_smp.Sched_policy
+module Span = Mg_obs.Span
 
 (* The executor driver.  The heavy lifting lives in the pipeline
    stages — Lower (bodies to plans), Cluster (reads to flat-index
@@ -24,16 +25,11 @@ type settings = {
 
 type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 
-(* Path counters live with the kernels; re-exported here for
-   compatibility with existing tests and diagnostics. *)
-let hits_stencil = Kernel.hits_stencil
-let hits_linebuf = Kernel.hits_linebuf
-let hits_copy = Kernel.hits_copy
-let hits_generic = Kernel.hits_generic
-let hits_interp = Kernel.hits_interp
-let hits_cfun = Kernel.hits_cfun
-let counters = Kernel.counters
-let reset_counters = Kernel.reset_counters
+(* Observation gate shared by traces and spans: clock reads and the
+   child-time bookkeeping below are skipped entirely unless some
+   consumer is listening, so a production force costs no monotonic
+   clock reads (the [Trace.emit] doc promise). *)
+let observing () = Trace.enabled () || Span.enabled ()
 
 (* ------------------------------------------------------------------ *)
 (* Backend dispatch                                                    *)
@@ -94,6 +90,20 @@ let env_of st =
 
 let child_time = ref 0.0
 
+(* Distinct kernel paths of a force, for the span's [kernel] attribute
+   (only built when a span is active). *)
+let kernels_of (parts : Plan.compiled list) =
+  String.concat ","
+    (List.sort_uniq compare
+       (List.map
+          (function
+            | Plan.Ccompiled cp -> (
+                match cp.Plan.kkernel with
+                | Some k -> Kernel.k3_name k
+                | None -> "lin-generic")
+            | Plan.Cclosure _ -> "cfun")
+          parts))
+
 let rec force st (n : Ir.node) : Ndarray.t =
   match n.Ir.cache with
   | Some a -> a
@@ -115,9 +125,11 @@ and force_source st = function Ir.Arr a -> a | Ir.Node n -> force st n
 (* The cached fast path: bind the plan's slots to this graph's buffers
    (forcing producers on demand) and run the stored loop nests. *)
 and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) : Ndarray.t =
+  let timed = observing () in
+  let sp = Span.start () in
   let saved_child = !child_time in
-  child_time := 0.0;
-  let t0 = Clock.now () in
+  if timed then child_time := 0.0;
+  let t0 = if timed then Clock.now () else 0.0 in
   let shape = n.Ir.nshape in
   let memo : Ndarray.buffer option array = Array.make (Array.length bindings) None in
   let get_buf i =
@@ -171,27 +183,40 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
   Ir.set_cache n out;
   release_sources n;
   Plan_cache.note_hit ~saved:p.Plan.ccompile;
-  let total = Clock.now () -. t0 in
-  let self = total -. !child_time in
-  child_time := saved_child +. total;
-  if Trace.enabled () then
-    Trace.emit
-      { Trace.tag =
-          (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
-        elements = p.Plan.celements;
-        seq_seconds = self;
-        bytes_alloc = (if stolen then 0 else 8 * Shape.num_elements shape);
-        parallel = true;
-        level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
-      };
+  if timed then begin
+    let total = Clock.now () -. t0 in
+    let self = total -. !child_time in
+    child_time := saved_child +. total;
+    if Trace.enabled () then
+      Trace.emit
+        { Trace.tag =
+            (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
+          elements = p.Plan.celements;
+          seq_seconds = self;
+          bytes_alloc = (if stolen then 0 else 8 * Shape.num_elements shape);
+          parallel = true;
+          level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
+        }
+  end;
+  if Span.active sp then
+    Span.stop
+      ~attrs:
+        [ ("cache", "hit");
+          ("elements", string_of_int p.Plan.celements);
+          ("extent", string_of_int (if Shape.rank shape > 0 then shape.(0) else 0));
+          ("kernel", kernels_of parts);
+        ]
+      ~name:"wl:force" sp;
   out
 
 (* The full pipeline; when [record] carries this graph's key and
    bindings, the compiled result is stored for later replays. *)
 and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : Ndarray.t =
+  let timed = observing () in
+  let sp = Span.start () in
   let saved_child = !child_time in
-  child_time := 0.0;
-  let t0 = Clock.now () in
+  if timed then child_time := 0.0;
+  let t0 = if timed then Clock.now () else 0.0 in
   let shape = n.Ir.nshape in
   let bindings_opt = Option.map snd record in
   let cacheable = ref (record <> None) in
@@ -245,13 +270,17 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
   in
   let base_arr = Option.map (force_source st) base_src in
   (* Optimise and compile, separating the pipeline's own cost from
-     nested producer forces — it is what a later cache hit saves. *)
+     nested producer forces — it is what a later cache hit saves.
+     These two clock reads are kept even when observation is off: they
+     feed the plan cache's [saved_seconds] accounting and only run on
+     the (already expensive) miss path. *)
   let cstart = Clock.now () in
   let child0 = !child_time in
   let parts =
-    List.concat_map
-      (fun (p : Ir.part) -> Fusion.optimize st.fusion ~force:(force st) p.Ir.gen p.Ir.body)
-      raw_parts
+    Span.with_ ~name:"wl:fusion" (fun () ->
+        List.concat_map
+          (fun (p : Ir.part) -> Fusion.optimize st.fusion ~force:(force st) p.Ir.gen p.Ir.body)
+          raw_parts)
   in
   let ostrides = Shape.strides shape in
   let compiled =
@@ -303,6 +332,7 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
   Ir.set_cache n out;
   (* Store the plan while producer caches are still alive (the slot
      mapping below reads them); [release_sources] may recycle them. *)
+  let outcome = ref "uncacheable" in
   (match record with
   | None -> ()
   | Some (key, bindings) ->
@@ -313,24 +343,36 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
       match entry with
       | Some p ->
           Plan_cache.add plan_cache key (CPlan p);
-          Plan_cache.note_miss ()
+          Plan_cache.note_miss ();
+          outcome := "miss"
       | None ->
           Plan_cache.add plan_cache key CUncacheable;
           Plan_cache.note_uncacheable ());
   release_sources n;
-  let total = Clock.now () -. t0 in
-  let self = total -. !child_time in
-  child_time := saved_child +. total;
-  if Trace.enabled () then
-    Trace.emit
-      { Trace.tag =
-          (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
-        elements;
-        seq_seconds = self;
-        bytes_alloc = (if stolen = None then 8 * Shape.num_elements shape else 0);
-        parallel = true;
-        level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
-      };
+  if timed then begin
+    let total = Clock.now () -. t0 in
+    let self = total -. !child_time in
+    child_time := saved_child +. total;
+    if Trace.enabled () then
+      Trace.emit
+        { Trace.tag =
+            (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
+          elements;
+          seq_seconds = self;
+          bytes_alloc = (if stolen = None then 8 * Shape.num_elements shape else 0);
+          parallel = true;
+          level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
+        }
+  end;
+  if Span.active sp then
+    Span.stop
+      ~attrs:
+        [ ("cache", !outcome);
+          ("elements", string_of_int elements);
+          ("extent", string_of_int (if Shape.rank shape > 0 then shape.(0) else 0));
+          ("kernel", kernels_of compiled);
+        ]
+      ~name:"wl:force" sp;
   out
 
 (* ------------------------------------------------------------------ *)
@@ -344,10 +386,15 @@ let apply_op = function
   | Fcustom f -> f
 
 let eval_fold st ~op ~neutral gen body =
+  let timed = observing () in
+  let sp = Span.start () in
   let saved_child = !child_time in
-  child_time := 0.0;
-  let t0 = Clock.now () in
-  let parts = Fusion.optimize st.fusion ~force:(force st) gen body in
+  if timed then child_time := 0.0;
+  let t0 = if timed then Clock.now () else 0.0 in
+  let parts =
+    Span.with_ ~name:"wl:fusion" (fun () ->
+        Fusion.optimize st.fusion ~force:(force st) gen body)
+  in
   let f = apply_op op in
   let interp acc (p : Ir.part) body =
     let cf = Lower.closure_of body in
@@ -373,18 +420,30 @@ let eval_fold st ~op ~neutral gen body =
             !acc)
       neutral parts
   in
-  let total = Clock.now () -. t0 in
-  let self = total -. !child_time in
-  child_time := saved_child +. total;
-  if Trace.enabled () then
-    Trace.emit
-      { Trace.tag = "wl:fold";
-        elements = Generator.cardinal gen;
-        seq_seconds = self;
-        bytes_alloc = 0;
-        parallel = true;
-        level_extent =
-          (let c = Generator.counts gen in
-           if Array.length c = 0 then 0 else c.(0));
-      };
+  if timed then begin
+    let total = Clock.now () -. t0 in
+    let self = total -. !child_time in
+    child_time := saved_child +. total;
+    if Trace.enabled () then
+      Trace.emit
+        { Trace.tag = "wl:fold";
+          elements = Generator.cardinal gen;
+          seq_seconds = self;
+          bytes_alloc = 0;
+          parallel = true;
+          level_extent =
+            (let c = Generator.counts gen in
+             if Array.length c = 0 then 0 else c.(0));
+        }
+  end;
+  if Span.active sp then
+    Span.stop
+      ~attrs:
+        [ ("elements", string_of_int (Generator.cardinal gen));
+          ("extent",
+           string_of_int
+             (let c = Generator.counts gen in
+              if Array.length c = 0 then 0 else c.(0)));
+        ]
+      ~name:"wl:fold" sp;
   result

@@ -12,7 +12,12 @@
     production and trace emission.
 
     Every force emits one {!Mg_smp.Trace} event carrying the node's own
-    (self) execution time, excluding nested producer forces.
+    (self) execution time, excluding nested producer forces, and opens
+    one [wl:force] {!Mg_obs.Span} (attributes: cache outcome, elements,
+    level extent, kernel paths).  With both tracing and spans disabled
+    a force performs no monotonic-clock reads on the replay path.
+    Kernel-path dispatch counts live in {!Kernel.counters} /
+    {!Mg_obs.Metrics} ([kernel.*]).
 
     Compiled parts are memoised in a process-wide {!Plan_cache}: the
     second and later forces of a structurally identical graph skip the
@@ -54,30 +59,3 @@ val eval_fold :
   settings -> op:fold_op -> neutral:float -> Generator.t -> Ir.expr -> float
 (** SAC's [fold] with-loop: combine the body's value over every index
     of the generator, in row-major order starting from [neutral]. *)
-
-(** {1 Executor path counters} (diagnostics)
-
-    Aliases of the {!Kernel} counters, kept here for compatibility. *)
-
-val hits_stencil : int ref
-(** Parts executed by the specialised box-stencil kernel. *)
-
-val hits_linebuf : int ref
-(** Parts executed by the line-buffered box-stencil kernel. *)
-
-val hits_copy : int ref
-(** Parts executed as row blits. *)
-
-val hits_generic : int ref
-(** Parts executed by the generic cluster loop nest. *)
-
-val hits_interp : int ref
-(** Parts executed by the specialised scatter-interpolation kernel. *)
-
-val hits_cfun : int ref
-(** Parts executed by the closure interpreter (fallback). *)
-
-val counters : unit -> (string * int) list
-(** All counters as [(name, count)] pairs, in a stable order. *)
-
-val reset_counters : unit -> unit

@@ -1,30 +1,31 @@
 open Mg_ndarray
 open Cluster
 
-(* Executor path counters (diagnostics, tests and the bench JSON). *)
-let hits_stencil = ref 0
-let hits_linebuf = ref 0
-let hits_copy = ref 0
-let hits_generic = ref 0
-let hits_interp = ref 0
-let hits_cfun = ref 0
+(* Executor path counters (diagnostics, tests and the bench JSON).
+   Atomic metrics rather than plain refs: [run_k3] runs concurrently on
+   pool domains, so [incr] on an [int ref] would lose updates. *)
+module Metrics = Mg_obs.Metrics
+
+let c_stencil = Metrics.counter "kernel.stencil"
+let c_linebuf = Metrics.counter "kernel.linebuf"
+let c_copy = Metrics.counter "kernel.copy"
+let c_generic = Metrics.counter "kernel.generic"
+let c_interp = Metrics.counter "kernel.interp"
+let c_cfun = Metrics.counter "kernel.cfun"
 
 let counters () =
-  [ ("stencil", !hits_stencil);
-    ("linebuf", !hits_linebuf);
-    ("copy", !hits_copy);
-    ("generic", !hits_generic);
-    ("interp", !hits_interp);
-    ("cfun", !hits_cfun);
+  [ ("stencil", Metrics.value c_stencil);
+    ("linebuf", Metrics.value c_linebuf);
+    ("copy", Metrics.value c_copy);
+    ("generic", Metrics.value c_generic);
+    ("interp", Metrics.value c_interp);
+    ("cfun", Metrics.value c_cfun);
   ]
 
 let reset_counters () =
-  hits_stencil := 0;
-  hits_linebuf := 0;
-  hits_copy := 0;
-  hits_generic := 0;
-  hits_interp := 0;
-  hits_cfun := 0
+  List.iter
+    (fun c -> Metrics.set_counter c 0)
+    [ c_stencil; c_linebuf; c_copy; c_generic; c_interp; c_cfun ]
 
 (* ------------------------------------------------------------------ *)
 (* Execution of a compiled linear part                                 *)
@@ -647,7 +648,7 @@ let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~o
     ~(counts : int array) =
   match k with
   | K3copy ->
-      incr hits_copy;
+      Metrics.incr c_copy;
       let n0 = counts.(0) and n1 = counts.(1) and n2 = counts.(2) in
       let os0 = osteps.(0) and os1 = osteps.(1) in
       let cl = clusters.(0) in
@@ -661,19 +662,19 @@ let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~o
         done
       done
   | K3stencil (st, _, _) ->
-      incr hits_stencil;
+      Metrics.incr c_stencil;
       run_stencil3 ~const st out ~obase ~osteps ~counts
   | K3stencil_lb (st, _, _) ->
-      incr hits_linebuf;
+      Metrics.incr c_linebuf;
       run_stencil3_linebuf ~const st out ~obase ~osteps ~counts
   | K3zip ->
-      incr hits_interp;
+      Metrics.incr c_interp;
       run_zip3 ~const clusters out ~obase ~osteps ~counts
   | K3flat ->
-      incr hits_interp;
+      Metrics.incr c_interp;
       run_flat3 ~const clusters.(0) out ~obase ~osteps ~counts
   | K3generic ->
-      incr hits_generic;
+      Metrics.incr c_generic;
       run_generic3 ~const clusters out ~obase ~osteps ~counts
 
 (* Generic any-rank cluster nest (parts that are not rank 3). *)

@@ -13,19 +13,24 @@ open Mg_ndarray
 (** {1 Path counters}
 
     Incremented by {!run_k3} and the backends; read by tests and the
-    benchmark harness. *)
+    benchmark harness.  Backed by {!Mg_obs.Metrics} atomic counters
+    ([kernel.stencil], [kernel.linebuf], …) so concurrent bumps from
+    {!Mg_smp.Domain_pool} workers are never lost. *)
 
-val hits_stencil : int ref
-val hits_linebuf : int ref
-val hits_copy : int ref
-val hits_generic : int ref
-val hits_interp : int ref
-val hits_cfun : int ref
+val c_stencil : Mg_obs.Metrics.counter
+val c_linebuf : Mg_obs.Metrics.counter
+val c_copy : Mg_obs.Metrics.counter
+val c_generic : Mg_obs.Metrics.counter
+val c_interp : Mg_obs.Metrics.counter
+val c_cfun : Mg_obs.Metrics.counter
 
 val counters : unit -> (string * int) list
-(** All counters as [(name, count)] pairs, in a stable order. *)
+(** All counters as [(name, count)] pairs, in a stable order (names
+    without the [kernel.] registry prefix). *)
 
 val reset_counters : unit -> unit
+(** Zero the kernel-path counters only (other registry instruments are
+    untouched). *)
 
 (** {1 Rank-3 kernel dispatch} *)
 

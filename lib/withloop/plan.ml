@@ -1,4 +1,5 @@
 open Mg_ndarray
+module Span = Mg_obs.Span
 
 (* ------------------------------------------------------------------ *)
 (* Compiled parts.
@@ -32,21 +33,23 @@ let compiled_gen = function Ccompiled c -> c.kgen | Cclosure (g, _, _) -> g
 let compile_part ~factor ~line_buffers ~ostrides (p : Ir.part) : compiled =
   let gen = p.Ir.gen in
   let card = Generator.cardinal gen in
-  match Linform.of_expr p.Ir.body with
+  match Span.with_ ~name:"wl:linform" (fun () -> Linform.of_expr p.Ir.body) with
   | None -> Cclosure (gen, card, p.Ir.body)
   | Some lf -> (
-      let groups = Lower.groups_of ~factor lf in
+      let groups = Span.with_ ~name:"wl:lower" (fun () -> Lower.groups_of ~factor lf) in
       let const = lf.Linform.const in
       match Cluster.axes_of_gen gen with
       | None -> Cclosure (gen, card, p.Ir.body)
       | Some ax -> (
-          match Cluster.clusterize ax groups with
+          match Span.with_ ~name:"wl:cluster" (fun () -> Cluster.clusterize ax groups) with
           | None -> Cclosure (gen, card, p.Ir.body)
           | Some clusters ->
               let kobase, kosteps = Cluster.out_layout_of ~ostrides ax in
               let kkernel =
                 if Array.length ax.Cluster.counts = 3 then
-                  Some (Kernel.choose_k3 ~line_buffers ~const clusters ~osteps:kosteps)
+                  Some
+                    (Span.with_ ~name:"wl:kernel-choice" (fun () ->
+                         Kernel.choose_k3 ~line_buffers ~const clusters ~osteps:kosteps))
                 else None
               in
               Ccompiled

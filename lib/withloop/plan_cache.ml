@@ -1,5 +1,6 @@
 open Mg_ndarray
-module Trace = Mg_smp.Trace
+module Metrics = Mg_obs.Metrics
+module Span = Mg_obs.Span
 
 type stats = {
   hits : int;
@@ -9,43 +10,37 @@ type stats = {
   saved_seconds : float;
 }
 
-let hits = ref 0
-let misses = ref 0
-let evictions = ref 0
-let uncacheable = ref 0
-let saved = ref 0.0
+(* Backed by the metrics registry, so the cache shows up in metric
+   dumps (profile report, bench JSON) without separate plumbing. *)
+let c_hits = Metrics.counter "plan_cache.hits"
+let c_misses = Metrics.counter "plan_cache.misses"
+let c_evictions = Metrics.counter "plan_cache.evictions"
+let c_uncacheable = Metrics.counter "plan_cache.uncacheable"
+let g_saved = Metrics.gauge "plan_cache.saved_seconds"
 
 let stats () =
-  { hits = !hits;
-    misses = !misses;
-    evictions = !evictions;
-    uncacheable = !uncacheable;
-    saved_seconds = !saved;
+  { hits = Metrics.value c_hits;
+    misses = Metrics.value c_misses;
+    evictions = Metrics.value c_evictions;
+    uncacheable = Metrics.value c_uncacheable;
+    saved_seconds = Metrics.gauge_value g_saved;
   }
 
 let reset_stats () =
-  hits := 0;
-  misses := 0;
-  evictions := 0;
-  uncacheable := 0;
-  saved := 0.0
+  List.iter (fun c -> Metrics.set_counter c 0) [ c_hits; c_misses; c_evictions; c_uncacheable ];
+  Metrics.set_gauge g_saved 0.0
 
 let note_hit ~saved:s =
-  incr hits;
-  saved := !saved +. s;
-  Trace.bump "wl:plan-hit" 1
+  Metrics.incr c_hits;
+  Metrics.add_gauge g_saved s;
+  Span.instant ~name:"plan-cache:hit" ()
 
 let note_miss () =
-  incr misses;
-  Trace.bump "wl:plan-miss" 1
+  Metrics.incr c_misses;
+  Span.instant ~name:"plan-cache:miss" ()
 
-let note_eviction () =
-  incr evictions;
-  Trace.bump "wl:plan-evict" 1
-
-let note_uncacheable () =
-  incr uncacheable;
-  Trace.bump "wl:plan-uncacheable" 1
+let note_eviction () = Metrics.incr c_evictions
+let note_uncacheable () = Metrics.incr c_uncacheable
 
 (* ------------------------------------------------------------------ *)
 (* Keyed store with LRU eviction.  Recency is a logical tick; eviction

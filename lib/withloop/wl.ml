@@ -57,6 +57,12 @@ let with_backend b f =
       backend := saved;
       raise e
 
+(* Observation (span recording) delegates to the Mg_obs switch so the
+   executor's fast path tests exactly one atomic flag. *)
+let set_observe b = Mg_obs.Span.set_enabled b
+let get_observe () = Mg_obs.Span.enabled ()
+let with_observe b f = Mg_obs.Span.with_enabled b f
+
 let set_line_buffers b = line_buffers := b
 let get_line_buffers () = !line_buffers
 

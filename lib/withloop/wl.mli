@@ -114,6 +114,17 @@ val set_backend : Backend.t -> unit
 val get_backend : unit -> Backend.t
 val with_backend : Backend.t -> (unit -> 'a) -> 'a
 
+val set_observe : bool -> unit
+(** Switch {!Mg_obs.Span} recording on: forces, pipeline stages, pool
+    chunks and backend pieces record spans into per-domain ring
+    buffers, collectable with {!Mg_obs.Span.events} and exportable via
+    {!Mg_obs.Chrome_trace} / {!Mg_obs.Profile_report} ([mg_run
+    --profile]).  Off (the default), instrumented paths cost one atomic
+    load and branch — no clock reads. *)
+
+val get_observe : unit -> bool
+val with_observe : bool -> (unit -> 'a) -> 'a
+
 val settings : unit -> Exec.settings
 (** The executor settings corresponding to the current globals. *)
 

@@ -30,4 +30,5 @@ let () =
       Test_schedule.suite;
       Test_smp_sim.suite;
       Test_bench_util.suite;
+      Test_obs.suite;
     ]

@@ -1,0 +1,305 @@
+(* Mg_obs: spans, metrics, exporters, and the disabled-mode cost
+   contract. *)
+
+open Mg_obs
+module Domain_pool = Mg_smp.Domain_pool
+module Clock = Mg_smp.Clock
+
+(* Every test starts from a clean slate; observation is always
+   switched back off (other suites assume the untraced fast path). *)
+let fresh () =
+  Span.set_enabled false;
+  Span.clear ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting and ordering                                           *)
+
+let test_span_nesting () =
+  fresh ();
+  Span.with_enabled true (fun () ->
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"inner-1" (fun () -> ignore (Sys.opaque_identity 1));
+          Span.with_ ~attrs:[ ("k", "v") ] ~name:"inner-2" (fun () ->
+              ignore (Sys.opaque_identity 2))));
+  let evs = Span.events () in
+  Alcotest.(check (list string))
+    "events sorted by start" [ "outer"; "inner-1"; "inner-2" ]
+    (List.map (fun (e : Span.event) -> e.Span.name) evs);
+  let find n = List.find (fun (e : Span.event) -> e.Span.name = n) evs in
+  let outer = find "outer" and i1 = find "inner-1" and i2 = find "inner-2" in
+  Alcotest.(check int) "outer depth" 1 outer.Span.depth;
+  Alcotest.(check int) "inner depth" 2 i1.Span.depth;
+  Alcotest.(check bool) "same lane" true (outer.Span.lane = i1.Span.lane);
+  Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ] i2.Span.attrs;
+  List.iter
+    (fun (c : Span.event) ->
+      Alcotest.(check bool) "child starts after parent" true
+        (Int64.compare outer.Span.start_ns c.Span.start_ns <= 0);
+      Alcotest.(check bool) "child ends before parent" true
+        (Int64.compare c.Span.end_ns outer.Span.end_ns <= 0))
+    [ i1; i2 ];
+  Alcotest.(check bool) "siblings ordered" true
+    (Int64.compare i1.Span.end_ns i2.Span.start_ns <= 0);
+  fresh ()
+
+let test_span_exception () =
+  fresh ();
+  Span.with_enabled true (fun () ->
+      (try Span.with_ ~name:"raises" (fun () -> failwith "boom") with Failure _ -> ());
+      Span.with_ ~name:"after" (fun () -> ()));
+  let evs = Span.events () in
+  Alcotest.(check (list string)) "span recorded on raise" [ "raises"; "after" ]
+    (List.map (fun (e : Span.event) -> e.Span.name) evs);
+  (* Depth bookkeeping recovered: "after" sits at depth 1 again. *)
+  let after = List.find (fun (e : Span.event) -> e.Span.name = "after") evs in
+  Alcotest.(check int) "depth recovered" 1 after.Span.depth;
+  fresh ()
+
+(* Spans recorded from pool workers land in per-domain rings; the
+   collected chunk spans tile the iteration space exactly once.  With
+   MG_PROCS=4 in CI this exercises genuine cross-domain recording (we
+   deliberately don't assert distinct lanes: a fast worker may claim
+   several chunks before a slow one wakes). *)
+let test_span_multi_domain () =
+  fresh ();
+  let pool = Domain_pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Span.with_enabled true (fun () ->
+          Domain_pool.parallel_for pool ~lo:0 ~hi:64 (fun lo hi ->
+              for _ = lo to hi - 1 do
+                ignore (Sys.opaque_identity (Stdlib.sqrt 2.0))
+              done)));
+  let chunks =
+    List.filter (fun (e : Span.event) -> e.Span.name = "pool:chunk") (Span.events ())
+  in
+  (* Static-block policy over 4 participants: one range each. *)
+  Alcotest.(check int) "one span per chunk" 4 (List.length chunks);
+  let ranges =
+    List.sort compare
+      (List.map
+         (fun (e : Span.event) ->
+           ( int_of_string (List.assoc "lo" e.Span.attrs),
+             int_of_string (List.assoc "hi" e.Span.attrs) ))
+         chunks)
+  in
+  let covered = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges in
+  Alcotest.(check int) "ranges cover the index space" 64 covered;
+  List.iter
+    (fun (e : Span.event) ->
+      Alcotest.(check bool) "monotone timestamps" true
+        (Int64.compare e.Span.start_ns e.Span.end_ns <= 0))
+    chunks;
+  fresh ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_histogram_buckets () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b (Metrics.bucket_of v))
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9); (1024, 10);
+      (max_int, 61);
+    ];
+  Alcotest.(check int) "bucket_lo 0" 0 (Metrics.bucket_lo 0);
+  Alcotest.(check int) "bucket_lo 5" 32 (Metrics.bucket_lo 5);
+  let h = Metrics.histogram "test.histo" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 1024 ];
+  let s = Metrics.histogram_snapshot h in
+  Alcotest.(check int) "count" 5 s.Metrics.count;
+  Alcotest.(check int) "sum" 1030 s.Metrics.sum;
+  Alcotest.(check int) "trimmed to last bucket" 11 (Array.length s.Metrics.buckets);
+  Alcotest.(check int) "bucket 0 holds v<=1" 2 s.Metrics.buckets.(0);
+  Alcotest.(check int) "bucket 1 holds 2..3" 2 s.Metrics.buckets.(1);
+  Alcotest.(check int) "bucket 10 holds 1024" 1 s.Metrics.buckets.(10)
+
+let test_counter_atomicity () =
+  let c = Metrics.counter "test.atomic" in
+  Metrics.set_counter c 0;
+  let pool = Domain_pool.create 4 in
+  let n = 100_000 in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Domain_pool.parallel_for ~policy:(Mg_smp.Sched_policy.Dynamic_chunked 8) pool
+        ~lo:0 ~hi:n (fun lo hi ->
+          for _ = lo to hi - 1 do
+            Metrics.incr c
+          done));
+  Alcotest.(check int) "no lost increments" n (Metrics.value c)
+
+let test_registry () =
+  let c = Metrics.counter "test.reg.counter" in
+  let g = Metrics.gauge "test.reg.gauge" in
+  Metrics.set_counter c 0;
+  Metrics.add c 41;
+  Metrics.incr c;
+  Metrics.set_gauge g 1.0;
+  Metrics.add_gauge g 0.5;
+  Alcotest.(check int) "counter interned" 42
+    (Metrics.value (Metrics.counter "test.reg.counter"));
+  Alcotest.(check (float 1e-12)) "gauge accumulates" 1.5 (Metrics.gauge_value g);
+  (match List.assoc_opt "test.reg.counter" (Metrics.dump ()) with
+  | Some (Metrics.Counter 42) -> ()
+  | _ -> Alcotest.fail "counter missing from dump");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics.gauge: \"test.reg.counter\" is not a gauge") (fun () ->
+      ignore (Metrics.gauge "test.reg.counter"))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome exporter golden test (deterministic via origin_ns)           *)
+
+let test_chrome_golden () =
+  let evs =
+    [ { Span.name = "a"; lane = 0; depth = 1; start_ns = 1000L; end_ns = 3000L;
+        attrs = [ ("k", "v") ] };
+      { Span.name = "b"; lane = 0; depth = 2; start_ns = 1500L; end_ns = 1500L;
+        attrs = [] };
+      { Span.name = "c"; lane = 3; depth = 1; start_ns = 2000L; end_ns = 2500L;
+        attrs = [] };
+    ]
+  in
+  let expected =
+    "{\"traceEvents\":[\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"domain-0\"}},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,\"args\":{\"name\":\"domain-3\"}},\n\
+     {\"name\":\"a\",\"ph\":\"X\",\"ts\":0.000,\"dur\":2.000,\"pid\":1,\"tid\":0,\"args\":{\"k\":\"v\"}},\n\
+     {\"name\":\"b\",\"ph\":\"i\",\"s\":\"t\",\"ts\":0.500,\"pid\":1,\"tid\":0},\n\
+     {\"name\":\"c\",\"ph\":\"X\",\"ts\":1.000,\"dur\":0.500,\"pid\":1,\"tid\":3}\n\
+     ],\"displayTimeUnit\":\"ms\"}\n"
+  in
+  Alcotest.(check string) "golden JSON" expected
+    (Chrome_trace.to_string ~origin_ns:1000L evs)
+
+let test_chrome_escaping () =
+  let evs =
+    [ { Span.name = "quo\"te"; lane = 0; depth = 1; start_ns = 0L; end_ns = 1L;
+        attrs = [ ("nl", "a\nb\\c") ] };
+    ]
+  in
+  let s = Chrome_trace.to_string ~origin_ns:0L evs in
+  Alcotest.(check bool) "quote escaped" true (contains s {|"quo\"te"|});
+  Alcotest.(check bool) "newline and backslash escaped" true (contains s {|"a\nb\\c"|})
+
+(* ------------------------------------------------------------------ *)
+(* Profile report                                                      *)
+
+let test_self_times () =
+  (* parent [0,100], children [10,30] and [40,90] -> parent self 40. *)
+  let ev name depth start_ns end_ns =
+    { Span.name; lane = 0; depth; start_ns; end_ns; attrs = [] }
+  in
+  let selfs =
+    Profile_report.self_times [ ev "p" 1 0L 100L; ev "c1" 2 10L 30L; ev "c2" 2 40L 90L ]
+  in
+  let self n =
+    List.assoc n (List.map (fun ((e : Span.event), s) -> (e.Span.name, s)) selfs)
+  in
+  Alcotest.(check int64) "parent self excludes children" 30L (self "p");
+  Alcotest.(check int64) "leaf self is its duration" 20L (self "c1");
+  Alcotest.(check int64) "leaf self is its duration" 50L (self "c2")
+
+let test_report_smoke () =
+  fresh ();
+  Span.with_enabled true (fun () ->
+      Span.with_ ~name:"stage" (fun () ->
+          Span.with_
+            ~attrs:
+              [ ("extent", "18"); ("elements", "100"); ("cache", "hit"); ("kernel", "zip") ]
+            ~name:"wl:force"
+            (fun () -> ignore (Sys.opaque_identity 1))));
+  let report = Profile_report.render (Span.events ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report mentions %S" needle) true
+        (contains report needle))
+    [ "Pipeline stages"; "wl:force"; "stage"; "18" ];
+  fresh ()
+
+(* ------------------------------------------------------------------ *)
+(* Disabled-mode overhead: a span around a disabled flag is one atomic
+   load and a branch.  The bound is deliberately generous (noisy CI
+   containers): the regression it guards against is accidentally
+   reading the clock or allocating attrs when disabled, which costs
+   well over 100 ns per call. *)
+
+let test_disabled_overhead () =
+  fresh ();
+  let n = 200_000 in
+  let acc = ref 0 in
+  for i = 0 to 999 do
+    Span.with_ ~name:"off" (fun () -> acc := !acc + i)
+  done;
+  let t0 = Clock.now () in
+  for i = 0 to n - 1 do
+    Span.with_ ~name:"off" (fun () -> acc := !acc + i)
+  done;
+  let dt = Clock.now () -. t0 in
+  ignore (Sys.opaque_identity !acc);
+  let ns_per_call = dt *. 1e9 /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled span < 250 ns/call (measured %.1f)" ns_per_call)
+    true (ns_per_call < 250.0);
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Observation must not change results: force the same graph with the
+   spans on and off and compare the floats bitwise. *)
+
+let test_observe_bitwise_identity () =
+  fresh ();
+  let open Mg_ndarray in
+  let open Mg_withloop in
+  let module E = Wl.Expr in
+  let shp = [| 18; 18; 18 |] in
+  let src =
+    Ndarray.init shp (fun iv ->
+        Stdlib.sin (float_of_int ((iv.(0) * 331) + (iv.(1) * 97) + iv.(2))))
+  in
+  let build () =
+    let gen = Generator.interior shp 1 in
+    Wl.genarray shp
+      [ ( gen,
+          E.(
+            (const 0.5 * read_offset (Wl.of_ndarray src) [| 1; 0; 0 |])
+            + (const 0.25 * read_offset (Wl.of_ndarray src) [| -1; 0; 0 |])
+            + read (Wl.of_ndarray src)) );
+      ]
+  in
+  Wl.cache_clear ();
+  let plain = Wl.force (build ()) in
+  Wl.cache_clear ();
+  let observed = Wl.with_observe true (fun () -> Wl.force (build ())) in
+  let n = Shape.num_elements shp in
+  let same = ref true in
+  for i = 0 to n - 1 do
+    if
+      Int64.bits_of_float (Ndarray.get_flat plain i)
+      <> Int64.bits_of_float (Ndarray.get_flat observed i)
+    then same := false
+  done;
+  Alcotest.(check bool) "bitwise identical with observation on" true !same;
+  fresh ()
+
+let suite =
+  ( "obs",
+    [ Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span on exception" `Quick test_span_exception;
+      Alcotest.test_case "spans across domains" `Quick test_span_multi_domain;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "counter atomicity" `Quick test_counter_atomicity;
+      Alcotest.test_case "metrics registry" `Quick test_registry;
+      Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+      Alcotest.test_case "chrome escaping" `Quick test_chrome_escaping;
+      Alcotest.test_case "self times" `Quick test_self_times;
+      Alcotest.test_case "report smoke" `Quick test_report_smoke;
+      Alcotest.test_case "disabled overhead" `Quick test_disabled_overhead;
+      Alcotest.test_case "observe bitwise identity" `Quick test_observe_bitwise_identity;
+    ] )
