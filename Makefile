@@ -16,9 +16,20 @@ smoke: build
 
 # Exercise the observability pipeline: spans on, profile report to
 # stdout and a Perfetto-loadable Chrome trace to results/trace.json.
+# Then assert the staged cfun kernels actually took over from the
+# interpreted generic nest: kernel.cfun must have fired and
+# kernel.generic must be at most 10% of the (generic + cfun) dispatches.
+MG_THREADS ?= 1
+
 profile-smoke: build
 	mkdir -p results
-	dune exec bin/mg_run.exe -- --impl sac --class W --profile=report,chrome:results/trace.json
+	dune exec bin/mg_run.exe -- --impl sac --class W --threads $(MG_THREADS) --profile=report,chrome:results/trace.json > results/profile-w.txt
+	cat results/profile-w.txt
+	awk '/^  kernel\.cfun /{c=$$2} /^  kernel\.generic /{g=$$2} \
+	  END { cv=c+0; gv=g+0; \
+	        if (cv == 0) { print "profile-smoke: kernel.cfun never dispatched"; exit 1 }; \
+	        if (gv * 10 > gv + cv) { print "profile-smoke: kernel.generic " gv " exceeds 10% of " gv+cv; exit 1 }; \
+	        print "profile-smoke: cfun takeover OK (cfun=" cv ", generic=" gv ")" }' results/profile-w.txt
 
 check: build test smoke profile-smoke
 

@@ -111,14 +111,22 @@ let arraylib_tests () =
 
 (* --- harness --------------------------------------------------------- *)
 
-let benchmark tests =
+let default_cfg = lazy (Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None ())
+
+(* The fig11 rows run the whole benchmark per sample (1.5-16 ms each),
+   so a 1 s quota yields too few samples for a stable OLS fit — the
+   f77_mini row regressed to r² 0.41.  Give them a long quota. *)
+let slow_cfg = lazy (Benchmark.cfg ~limit:2000 ~quota:(Time.second 5.0) ~kde:None ())
+
+let benchmark ~cfg tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
-  let raw = Benchmark.all cfg [ instance ] tests in
+  let raw = Benchmark.all (Lazy.force cfg) [ instance ] tests in
   Analyze.all ols instance raw
 
-(* Print one group's table; return its rows as (full name, ns/run, r²). *)
+(* Print one group's table; return its rows as (full name, ns/run, r²).
+   Poor fits get a stderr warning so regressions in measurement quality
+   are visible, not just regressions in time. *)
 let report results =
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort compare rows in
@@ -128,6 +136,7 @@ let report results =
       | Some (t :: _) ->
           let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
           Printf.printf "  %-32s %12.3f us/run   (r^2 %.4f)\n" name (t /. 1e3) r2;
+          ignore (Mg_bench_util.Bench_util.Quality.warn_r_square ~name r2);
           Some (name, t, r2)
       | _ ->
           Printf.printf "  %-32s (no estimate)\n" name;
@@ -136,13 +145,20 @@ let report results =
 
 let () =
   Printf.printf "sac_mg benchmark suite (scaled-down classes; see bin/fig*.exe for full sizes)\n";
+  (* Per-kernel ns/elt histograms ride along in the metrics section. *)
+  Wl.set_kernel_timing true;
   let all =
     List.concat_map
-      (fun tests ->
+      (fun (tests, cfg) ->
         let tests = tests () in
         Printf.printf "\n%s:\n%!" (Test.name tests);
-        report (benchmark tests))
-      [ fig11_tests; fig12_tests; stencil_tests; fusion_tests; arraylib_tests ]
+        report (benchmark ~cfg tests))
+      [ (fig11_tests, slow_cfg);
+        (fig12_tests, default_cfg);
+        (stencil_tests, default_cfg);
+        (fusion_tests, default_cfg);
+        (arraylib_tests, default_cfg);
+      ]
   in
   let cstats = Wl.cache_stats () in
   let json =

@@ -12,7 +12,17 @@
    --memory : dynamic memory management — per-grid-level time and
      per-element cost of the SAC implementation against the Fortran
      port, showing the overhead growing towards the coarse end of the
-     V-cycle (the scalability limit of §5).  *)
+     V-cycle (the scalability limit of §5).
+
+   --kernel-path : the staged-compilation story — one interpolation
+     sweep (the bodies no fixed kernel recognises) under the
+     interpreted generic cluster nest against the compiled Cfun
+     closures, with the kernel-dispatch counters showing which path
+     actually ran.
+
+   The global --kernels=generic|cfun toggle forces the
+   unrecognised-body path for every section, so the fusion/memory
+   tables (E4) can be re-measured both ways.  *)
 
 open Mg_ndarray
 open Mg_core
@@ -54,6 +64,47 @@ let stencil_ablation n =
   in
   Table.render Format.std_formatter ~header:[ "variant"; "sweep time"; "per element" ]
     ~align:[ Table.L; Table.R; Table.R ] rows
+
+(* E10: generic interpreted cluster walk vs staged Cfun compilation on
+   the one operator whose bodies no fixed kernel fully covers — the
+   coarse-to-fine interpolation (residue-class split at O3 leaves
+   unrecognised strided parts).  Each measurement rebuilds the graph so
+   the force is not satisfied from the per-node cache; the plan cache
+   keys include the cfun flag, so both paths replay their own plans. *)
+let kernel_ablation n =
+  Printf.printf "# Kernel-path ablation: one %d^3 interpolation sweep (coarse2fine, O3)\n" n;
+  Printf.printf "# generic = interpreted per-element cluster walk;\n";
+  Printf.printf "# cfun = staged compiled closures (deltas unrolled, longest-axis rows).\n\n";
+  let mc = (n / 2) + 2 in
+  let z =
+    Ndarray.init [| mc; mc; mc |] (fun iv ->
+        float_of_int ((iv.(0) * 13) + (iv.(1) * 7) + iv.(2)) /. 97.0)
+  in
+  let c_generic = Mg_obs.Metrics.counter "kernel.generic" in
+  let c_cfun = Mg_obs.Metrics.counter "kernel.cfun" in
+  let sweep cfun () =
+    Wl.with_cfun cfun (fun () ->
+        Wl.with_opt_level Wl.O3 (fun () ->
+            ignore (Wl.force (Mg_sac.coarse2fine (Wl.of_ndarray z)))))
+  in
+  let elements = float_of_int (n * n * n) in
+  let rows =
+    List.map
+      (fun (name, cfun) ->
+        let g0 = Mg_obs.Metrics.value c_generic and f0 = Mg_obs.Metrics.value c_cfun in
+        let t, () = Timing.best_of ~warmup:1 ~times:5 (sweep cfun) in
+        let g1 = Mg_obs.Metrics.value c_generic and f1 = Mg_obs.Metrics.value c_cfun in
+        [ name;
+          Printf.sprintf "%.3f ms" (t *. 1e3);
+          Printf.sprintf "%.1f ns" (t /. elements *. 1e9);
+          string_of_int (g1 - g0);
+          string_of_int (f1 - f0);
+        ])
+      [ ("generic cluster nest", false); ("compiled cfun closures", true) ]
+  in
+  Table.render Format.std_formatter
+    ~header:[ "kernel path"; "sweep time"; "per element"; "generic hits"; "cfun hits" ]
+    ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R ] rows
 
 let fusion_ablation (cls : Classes.t) =
   Printf.printf "# With-loop folding ablation: %s at O0..O3\n" cls.Classes.name;
@@ -162,10 +213,15 @@ let periodic_ablation (cls : Classes.t) =
   Table.render Format.std_formatter ~header:[ "implementation"; "seconds"; "rnm2"; "verification" ]
     ~align:[ Table.L; Table.R; Table.R; Table.L ] rows
 
-let run stencil fusion memory periodic n cls =
+let run stencil fusion memory periodic kernelpath kernels n cls =
   Exp_common.header ();
-  let any = stencil || fusion || memory || periodic in
+  Option.iter Wl.set_cfun kernels;
+  let any = stencil || fusion || memory || periodic || kernelpath in
   if stencil || not any then stencil_ablation n;
+  if kernelpath || not any then begin
+    if stencil || not any then Printf.printf "\n";
+    kernel_ablation n
+  end;
   if fusion || not any then begin
     Printf.printf "\n";
     fusion_ablation cls
@@ -187,6 +243,17 @@ let fusion_arg = Arg.(value & flag & info [ "fusion" ] ~doc:"With-loop-folding a
 let memory_arg = Arg.(value & flag & info [ "memory" ] ~doc:"Per-level memory-overhead table only.")
 let periodic_arg = Arg.(value & flag & info [ "periodic" ] ~doc:"Border-based vs direct-periodic ablation only.")
 
+let kernelpath_arg =
+  Arg.(value & flag & info [ "kernel-path" ] ~doc:"Generic-vs-cfun kernel-path ablation only.")
+
+let kernels_arg =
+  Arg.(value
+       & opt (some (enum [ ("generic", false); ("cfun", true) ])) None
+       & info [ "kernels" ] ~docv:"PATH"
+           ~doc:"Force the kernel path for unrecognised bodies in every section: \
+                 $(b,generic) (interpreted cluster nest) or $(b,cfun) (staged compiled \
+                 closures, the O2+ default).")
+
 let n_arg = Arg.(value & opt int 64 & info [ "n"; "extent" ] ~docv:"N" ~doc:"Grid extent for the stencil ablation.")
 
 let class_conv =
@@ -203,6 +270,7 @@ let class_arg =
 let cmd =
   Cmd.v
     (Cmd.info "ablation" ~doc:"ablation studies for the paper's §5 design analysis")
-    Term.(const run $ stencil_arg $ fusion_arg $ memory_arg $ periodic_arg $ n_arg $ class_arg)
+    Term.(const run $ stencil_arg $ fusion_arg $ memory_arg $ periodic_arg $ kernelpath_arg
+          $ kernels_arg $ n_arg $ class_arg)
 
 let () = exit (Cmd.eval' cmd)

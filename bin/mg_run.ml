@@ -42,7 +42,7 @@ let print_trace (events : Trace.event list) =
   let rows = List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows in
   List.iter (fun (tag, t, c) -> Format.printf "  %-20s %6d calls  %9.4f s@." tag c t) rows
 
-let run impl cls opt threads sched backend profile custom_nx custom_nit =
+let run impl cls opt threads sched tile backend kernels profile custom_nx custom_nit =
   let cls =
     match (custom_nx, custom_nit) with
     | Some nx, nit ->
@@ -50,9 +50,17 @@ let run impl cls opt threads sched backend profile custom_nx custom_nit =
           ~nit:(Option.value nit ~default:4)
     | None, _ -> cls
   in
+  (* --tile both shapes and implies the tiled policy. *)
+  let sched =
+    match tile with
+    | Some (planes, rows) -> Mg_smp.Sched_policy.Tiled { planes; rows }
+    | None -> sched
+  in
+  Option.iter Mg_withloop.Wl.set_cfun kernels;
   let modes = Option.value profile ~default:[] in
   let trace = List.mem Ptrace modes in
   let observe = List.exists (function Preport | Pchrome _ -> true | Ptrace -> false) modes in
+  if observe then Mg_withloop.Wl.set_kernel_timing true;
   let drive () = Driver.run ~opt ~threads ~sched ~backend ~trace ~impl ~cls () in
   let result =
     if observe then begin
@@ -118,7 +126,9 @@ let sched_conv =
   let parse s =
     match Mg_smp.Sched_policy.of_string s with
     | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "unknown scheduling policy %S (block|chunked[:M])" s))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown scheduling policy %S (block|chunked[:M]|tiled[:P,R])" s))
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Mg_smp.Sched_policy.to_string p))
 
@@ -126,7 +136,25 @@ let sched_arg =
   Arg.(value & opt sched_conv Mg_smp.Sched_policy.default
        & info [ "sched" ] ~docv:"POLICY"
            ~doc:"Loop scheduling policy for parallel with-loop parts: block (one static \
-                 chunk per worker) or chunked:M (M dynamically claimed chunks per worker).")
+                 chunk per worker), chunked:M (M dynamically claimed chunks per worker) or \
+                 tiled[:P,R] (cache-blocked P-plane by R-row tiles, claimed one at a time).")
+
+let tile_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ p; r ] -> (
+        match (int_of_string_opt (String.trim p), int_of_string_opt (String.trim r)) with
+        | Some planes, Some rows when planes >= 1 && rows >= 1 -> Ok (planes, rows)
+        | _ -> Error (`Msg (Printf.sprintf "bad tile shape %S (expected P,R with P,R >= 1)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad tile shape %S (expected P,R)" s))
+  in
+  Arg.conv (parse, fun ppf (p, r) -> Format.fprintf ppf "%d,%d" p r)
+
+let tile_arg =
+  Arg.(value & opt (some tile_conv) None
+       & info [ "tile" ] ~docv:"P,R"
+           ~doc:"Tile shape for cache-blocked sweeps: P planes by R rows per tile.  Implies \
+                 $(b,--sched=tiled).")
 
 let backend_conv =
   let parse s =
@@ -141,6 +169,14 @@ let backend_arg =
        & info [ "backend" ] ~docv:"BACKEND"
            ~doc:"Piece-scheduling backend: pool (real worker domains) or smp_sim (the same \
                  split run sequentially with per-piece trace events).")
+
+let kernels_arg =
+  Arg.(value
+       & opt (some (enum [ ("generic", false); ("cfun", true) ])) None
+       & info [ "kernels" ] ~docv:"PATH"
+           ~doc:"Kernel path for bodies no fixed kernel recognises: $(b,generic) \
+                 (interpreted cluster nest) or $(b,cfun) (staged compiled closures, the \
+                 O2+ default).")
 
 let profile_conv =
   let parse s =
@@ -180,6 +216,7 @@ let cmd =
   let doc = "run the NAS benchmark MG (SAC-style, Fortran-77-style or C-style)" in
   Cmd.v
     (Cmd.info "mg_run" ~doc)
-    Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ sched_arg $ backend_arg $ profile_arg $ nx_arg $ nit_arg)
+    Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ sched_arg $ tile_arg
+          $ backend_arg $ kernels_arg $ profile_arg $ nx_arg $ nit_arg)
 
 let () = exit (Cmd.eval' cmd)

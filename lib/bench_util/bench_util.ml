@@ -164,6 +164,20 @@ module Json = struct
         output_char oc '\n')
 end
 
+module Quality = struct
+  let r_square_floor = 0.9
+
+  let warn_r_square ?(threshold = r_square_floor) ~name r2 =
+    let ok = Float.is_finite r2 && r2 >= threshold in
+    if not ok then
+      Printf.eprintf
+        "# WARNING: %s: OLS r^2 %.3f below %.2f — the estimate is noisy; raise the \
+         sampling quota or quiet the machine\n\
+         %!"
+        name r2 threshold;
+    ok
+end
+
 module Env = struct
   let description () =
     let host = try Unix.gethostname () with _ -> "unknown-host" in

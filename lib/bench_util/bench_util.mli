@@ -57,6 +57,16 @@ module Json : sig
       missing), ending with a newline. *)
 end
 
+module Quality : sig
+  val r_square_floor : float
+  (** Default goodness-of-fit floor for OLS estimates (0.9). *)
+
+  val warn_r_square : ?threshold:float -> name:string -> float -> bool
+  (** [warn_r_square ~name r2] returns whether the fit clears
+      [threshold] (default {!r_square_floor}), printing a warning on
+      stderr when it does not (NaN counts as failing). *)
+end
+
 module Env : sig
   val description : unit -> string
   (** One-line machine/runtime description stamped onto experiment

@@ -233,8 +233,43 @@ let pp ?wall_seconds ppf (evs : Span.event list) =
       Format.fprintf ppf "@.Per-domain utilisation (observed window %.3f ms):@."
         (ms window_ns);
       render_table ppf ~header:[ "lane"; "spans"; "busy ms"; "util" ] lane_rows;
-      (* 4. Metrics registry. *)
       let metrics = Metrics.dump () in
+      (* 4. Per-kernel piece cost (the [kernel.ns_elt.*] histograms
+         recorded under {!Wl.set_kernel_timing}): count, mean and the
+         full log₂ bucket distribution as [lower-edge:count] pairs. *)
+      let prefix = "kernel.ns_elt." in
+      let plen = String.length prefix in
+      let kernel_rows =
+        List.filter_map
+          (fun (name, v) ->
+            match v with
+            | Metrics.Histogram h
+              when h.Metrics.count > 0
+                   && String.length name > plen
+                   && String.sub name 0 plen = prefix ->
+                let buf = Buffer.create 64 in
+                Array.iteri
+                  (fun i c ->
+                    if c > 0 then
+                      Buffer.add_string buf (Printf.sprintf "%d:%d " (Metrics.bucket_lo i) c))
+                  h.Metrics.buckets;
+                Some
+                  [ String.sub name plen (String.length name - plen);
+                    string_of_int h.Metrics.count;
+                    Printf.sprintf "%.1f"
+                      (float_of_int h.Metrics.sum /. float_of_int h.Metrics.count);
+                    String.trim (Buffer.contents buf);
+                  ]
+            | _ -> None)
+          metrics
+      in
+      if kernel_rows <> [] then begin
+        Format.fprintf ppf "@.Per-kernel piece cost (ns per element, log2 buckets):@.";
+        render_table ppf
+          ~header:[ "kernel"; "pieces"; "mean ns/elt"; "distribution (lo:count)" ]
+          kernel_rows
+      end;
+      (* 5. Metrics registry. *)
       if metrics <> [] then begin
         Format.fprintf ppf "@.Metrics:@.";
         List.iter

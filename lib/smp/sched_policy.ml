@@ -1,37 +1,64 @@
 type t =
   | Static_block
   | Dynamic_chunked of int
+  | Tiled of { planes : int; rows : int }
 
 let default = Static_block
+
+let default_tile = Tiled { planes = 8; rows = 32 }
 
 let chunk_factor = function
   | Static_block -> 1
   | Dynamic_chunked m -> max 1 m
+  | Tiled _ -> 1
 
 let ranges t ~workers ~lo ~hi =
   let len = hi - lo in
   if len <= 0 then [||]
   else begin
-    let n = max 1 (min (workers * chunk_factor t) len) in
-    Array.init n (fun k ->
-        let a = lo + (len * k / n) and b = lo + (len * (k + 1) / n) in
-        (a, b))
+    match t with
+    | Tiled _ ->
+        (* Tiles are cache-shaped, not worker-shaped: each is claimed
+           individually so a slow tile never strands the tiles behind
+           it in a static block. *)
+        Array.init len (fun k -> (lo + k, lo + k + 1))
+    | Static_block | Dynamic_chunked _ ->
+        let n = max 1 (min (workers * chunk_factor t) len) in
+        Array.init n (fun k ->
+            let a = lo + (len * k / n) and b = lo + (len * (k + 1) / n) in
+            (a, b))
   end
 
 let to_string = function
   | Static_block -> "block"
   | Dynamic_chunked m -> Printf.sprintf "chunked:%d" m
+  | Tiled { planes; rows } -> Printf.sprintf "tiled:%d,%d" planes rows
+
+let parse_tile s =
+  match String.split_on_char ',' s with
+  | [ p; r ] -> (
+      match (int_of_string_opt (String.trim p), int_of_string_opt (String.trim r)) with
+      | Some planes, Some rows when planes >= 1 && rows >= 1 -> Some (planes, rows)
+      | _ -> None)
+  | _ -> None
 
 let of_string s =
   match String.lowercase_ascii (String.trim s) with
   | "block" | "static" -> Some Static_block
   | "chunked" | "dynamic" -> Some (Dynamic_chunked 4)
+  | "tiled" -> Some default_tile
   | s -> (
       match String.index_opt s ':' with
-      | Some i
-        when String.sub s 0 i = "chunked"
-             || String.sub s 0 i = "dynamic" -> (
-          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
-          | Some m when m >= 1 -> Some (Dynamic_chunked m)
+      | Some i -> (
+          let head = String.sub s 0 i and tail = String.sub s (i + 1) (String.length s - i - 1) in
+          match head with
+          | "chunked" | "dynamic" -> (
+              match int_of_string_opt tail with
+              | Some m when m >= 1 -> Some (Dynamic_chunked m)
+              | _ -> None)
+          | "tiled" -> (
+              match parse_tile tail with
+              | Some (planes, rows) -> Some (Tiled { planes; rows })
+              | None -> None)
           | _ -> None)
       | _ -> None)

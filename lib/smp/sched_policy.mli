@@ -8,30 +8,51 @@
     demand — tolerates load imbalance at the price of more claim
     traffic).  Both are expressed as a chunk-shape decision; the pool
     always lets participants claim chunks dynamically, so
-    {!Static_block} degenerates to exactly one chunk per participant. *)
+    {!Static_block} degenerates to exactly one chunk per participant.
+
+    {!Tiled} extends the same decision to two axes: instead of whole
+    plane slabs, parallel rank-3 with-loop parts are cut into
+    [planes × rows] cache-blocked tiles, each claimed individually.
+    The backend computes the tile count from the iteration space; here
+    the policy only carries the tile shape and hands out one range per
+    tile index. *)
 
 type t =
   | Static_block  (** One contiguous chunk per participating domain. *)
   | Dynamic_chunked of int
       (** [Dynamic_chunked m]: [m] chunks per participating domain,
           claimed dynamically ([m >= 1]). *)
+  | Tiled of { planes : int; rows : int }
+      (** Cache-blocked 2-D tiles for rank-3 parts: at most [planes]
+          outer-axis iterations × [rows] second-axis iterations per
+          tile.  Parts that cannot tile (rank < 2) fall back to
+          {!Static_block} slabs in the backend. *)
 
 val default : t
 (** {!Static_block} — the paper's choice for regular with-loops. *)
 
+val default_tile : t
+(** [Tiled {planes = 8; rows = 32}] — sized so a class-W/A tile
+    (planes+2 source planes × rows+2 rows of one level) stays within
+    a ~1 MB L2. *)
+
 val chunk_factor : t -> int
-(** Chunks per worker this policy requests (1 for {!Static_block}). *)
+(** Chunks per worker this policy requests (1 for {!Static_block} and
+    {!Tiled}: tiled piece counts are shaped by the iteration space,
+    not the worker count). *)
 
 val ranges : t -> workers:int -> lo:int -> hi:int -> (int * int) array
 (** Cut the half-open range [lo, hi) into the policy's chunks: at most
-    [workers * chunk_factor] near-equal contiguous ranges (never more
-    than the range length, never fewer than one for a non-empty
-    range).  Concatenated in order, the ranges cover [lo, hi) exactly
-    once. *)
+    [workers * chunk_factor] near-equal contiguous ranges for the 1-D
+    policies (never more than the range length, never fewer than one
+    for a non-empty range); for {!Tiled} exactly one unit range per
+    index — the indices are tile numbers, claimed one at a time.
+    Concatenated in order, the ranges cover [lo, hi) exactly once. *)
 
 val to_string : t -> string
-(** ["block"] or ["chunked:<m>"]. *)
+(** ["block"], ["chunked:<m>"] or ["tiled:<planes>,<rows>"]. *)
 
 val of_string : string -> t option
-(** Inverse of {!to_string}; also accepts ["static"], ["dynamic"] and
-    bare ["chunked"] (chunk factor 4). *)
+(** Inverse of {!to_string}; also accepts ["static"], ["dynamic"],
+    bare ["chunked"] (chunk factor 4) and bare ["tiled"]
+    ({!default_tile}). *)

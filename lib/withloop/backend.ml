@@ -43,26 +43,41 @@ let run_closure_piece (out : Ndarray.t) (f : Shape.t -> float) (g : Generator.t)
 
 (* Execute a compiled part over one coordinate band.  [piece] must have
    the same step/width as [cp.kgen] with its lower bound displaced by a
-   whole number of outer-axis steps (what [Generator.split_axis]
-   produces), so every layout shifts by [koff] steps along axis 0. *)
+   whole number of steps (what [Generator.split_axis] produces) — along
+   axis 0 for slab pieces, along axes 0 and 1 for cache tiles — so
+   every layout shifts by [koff0]/[koff1] whole steps. *)
 let run_cpart_piece (out : Ndarray.t) (cp : Plan.cpart) ~(piece : Generator.t) ~whole =
   let kgen = cp.Plan.kgen in
-  let koff =
-    if whole || Generator.rank kgen = 0 then 0
+  let rank = Generator.rank kgen in
+  let koff0 =
+    if whole || rank = 0 then 0
     else (piece.Generator.lb.(0) - kgen.Generator.lb.(0)) / kgen.Generator.step.(0)
+  in
+  let koff1 =
+    if whole || rank < 2 then 0
+    else (piece.Generator.lb.(1) - kgen.Generator.lb.(1)) / kgen.Generator.step.(1)
   in
   let counts = if whole then cp.Plan.kcounts else Generator.counts piece in
   let clusters =
-    if koff = 0 then cp.Plan.kclusters
+    if koff0 = 0 && koff1 = 0 then cp.Plan.kclusters
     else
       Array.map
-        (fun cl -> Cluster.shift_base cl (koff * cl.Cluster.xsteps.(0)))
+        (fun cl ->
+          Cluster.shift_base cl
+            ((koff0 * cl.Cluster.xsteps.(0))
+            + (if koff1 = 0 then 0 else koff1 * cl.Cluster.xsteps.(1))))
         cp.Plan.kclusters
   in
-  let obase = cp.Plan.kobase + (koff * cp.Plan.kosteps.(0)) in
+  let obase =
+    cp.Plan.kobase
+    + (koff0 * cp.Plan.kosteps.(0))
+    + (if koff1 = 0 then 0 else koff1 * cp.Plan.kosteps.(1))
+  in
   match cp.Plan.kkernel with
   | Some k ->
-      let k = if koff = 0 then k else Kernel.rebind_k3 clusters ~koff k in
+      let k =
+        if koff0 = 0 && koff1 = 0 then k else Kernel.rebind_k3 clusters ~koff0 ~koff1 k
+      in
       Kernel.run_k3 ~const:cp.Plan.kconst k clusters out.Ndarray.data ~obase
         ~osteps:cp.Plan.kosteps ~counts
   | None ->
@@ -74,6 +89,28 @@ let run_piece (out : Ndarray.t) (p : prepared) ~(piece : Generator.t) ~whole =
   | Pc cp -> run_cpart_piece out cp ~piece ~whole
   | Pf f -> run_closure_piece out f piece
 
+(* Cut a parallel part into pieces.  The 1-D policies produce
+   worker-shaped axis-0 slabs; [Tiled] produces cache-shaped
+   (plane-block × row-block) tiles — the piece count follows the
+   iteration space, and [Sched_policy.ranges] hands tiles out one per
+   claim. *)
+let split_pieces sched ~nworkers (gen : Generator.t) =
+  let blocks j =
+    let s = gen.Generator.step.(j) in
+    let extent = gen.Generator.ub.(j) - gen.Generator.lb.(j) in
+    if extent <= 0 then 0 else (extent + s - 1) / s
+  in
+  match sched with
+  | Sched_policy.Tiled { planes; rows } when Generator.rank gen >= 2 ->
+      let p0 = max 1 ((blocks 0 + planes - 1) / planes) in
+      let p1 = max 1 ((blocks 1 + rows - 1) / rows) in
+      let slabs = Generator.split_axis gen ~axis:0 ~pieces:p0 in
+      Array.of_list
+        (List.concat_map (fun s -> Generator.split_axis s ~axis:1 ~pieces:p1) slabs)
+  | _ ->
+      let npieces = nworkers * Sched_policy.chunk_factor sched in
+      Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:npieces)
+
 (* Split one part for the context's pool and policy; [run_split] owns
    the actual piece scheduling (pool dispatch or simulation). *)
 let run_compiled ctx ~run_split (out : Ndarray.t) (c : Plan.compiled) =
@@ -83,8 +120,7 @@ let run_compiled ctx ~run_split (out : Ndarray.t) (c : Plan.compiled) =
     let par = card >= ctx.par_threshold && nworkers > 1 && Generator.rank gen > 0 in
     let p = prepare c in
     if par then begin
-      let npieces = nworkers * Sched_policy.chunk_factor ctx.sched in
-      let pieces = Array.of_list (Generator.split_axis gen ~axis:0 ~pieces:npieces) in
+      let pieces = split_pieces ctx.sched ~nworkers gen in
       run_split ctx pieces (fun i -> run_piece out p ~piece:pieces.(i) ~whole:false)
     end
     else run_piece out p ~piece:gen ~whole:true

@@ -1,0 +1,48 @@
+(** Staged compilation of clustered part bodies to specialised
+    closures — the code-generation step the paper's sac2c performs for
+    every with-loop body (§5, §6), applied to the parts our four fixed
+    kernel shapes do not recognise.
+
+    [compile] walks the cluster/group/delta structure once and emits
+    one closed-loop closure per (cluster, group): delta offsets
+    let-bound and unrolled for the arities factored MG bodies produce
+    (1/2/3/4/6/8/12 reads).  [run] then replaces
+    {!Kernel.run_generic3}'s per-element interpretation by one closure
+    call per output row per group, choosing the longest axis of each
+    piece as the row axis so degenerate border and residue pieces
+    still get long rows.
+
+    Compiled kernels are parameterised over buffer slots: passes hold
+    no buffers or bases and read them from the live cluster array at
+    run time, so plan replay ({!Plan.rebind_cpart}) and per-piece base
+    shifting ({!Cluster.shift_base}) need no recompilation, and the
+    kernel is cached inside its plan in {!Plan_cache}.
+
+    Results are bitwise-identical to {!Kernel.run_generic3}: the
+    passes replay its exact floating-point accumulation order,
+    including each group sum's leading [0.0 +.]. *)
+
+open Mg_ndarray
+
+type t
+(** A compiled rank-3 part body. *)
+
+val compile : const:float -> Cluster.ccluster array -> osteps:int array -> t
+(** Stage the clustered body into pass closures.  [osteps] is the
+    part's output layout (rank 3); only structural data (steps,
+    strides, coefficients, deltas, [const]) is baked — never buffers
+    or bases. *)
+
+val run :
+  t ->
+  Cluster.ccluster array ->
+  Ndarray.buffer ->
+  obase:int ->
+  osteps:int array ->
+  counts:int array ->
+  unit
+(** Execute over the live clusters (their current buffers and bases)
+    into [out].  Same contract as {!Kernel.run_generic3}. *)
+
+val reads_per_element : t -> int
+(** Total source reads per output element (diagnostics). *)

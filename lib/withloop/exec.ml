@@ -17,6 +17,7 @@ type settings = {
   fusion : Fusion.config;
   factor : bool;
   line_buffers : bool;
+  cfun : bool;
   pool : unit -> Domain_pool.t;
   par_threshold : int;
   sched : Sched_policy.t;
@@ -82,8 +83,9 @@ let cache_clear () =
    absent: the parallel split is applied at execution time, so one
    plan serves any pool size, policy and backend. *)
 let env_of st =
-  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;" st.fusion.Fusion.fold
+  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;cf=%b;" st.fusion.Fusion.fold
     st.fusion.Fusion.split_strided st.fusion.Fusion.split_threshold st.factor st.line_buffers
+    st.cfun
 
 (* ------------------------------------------------------------------ *)
 (* Forcing                                                             *)
@@ -287,7 +289,10 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
     List.filter_map
       (fun (p : Ir.part) ->
         if Generator.is_empty p.Ir.gen then None
-        else Some (Plan.compile_part ~factor:st.factor ~line_buffers:st.line_buffers ~ostrides p))
+        else
+          Some
+            (Plan.compile_part ~factor:st.factor ~line_buffers:st.line_buffers ~cfun:st.cfun
+               ~ostrides p))
       parts
   in
   let compile_cost = Clock.now () -. cstart -. (!child_time -. child0) in

@@ -33,6 +33,10 @@ type settings = {
       (** Execute recognised box stencils with edge/corner classes by
           the Fortran port's line-buffering technique: per-row plane
           sums reused across the inner loop. *)
+  cfun : bool;
+      (** Stage rank-3 bodies no fixed kernel recognises into {!Cfun}
+          compiled closures instead of the interpreted generic nest
+          (on at [O2]+ via {!Wl.settings}). *)
   pool : unit -> Mg_smp.Domain_pool.t;
   par_threshold : int;
       (** Minimum index-space cardinality before a part is run in

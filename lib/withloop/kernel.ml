@@ -13,6 +13,20 @@ let c_generic = Metrics.counter "kernel.generic"
 let c_interp = Metrics.counter "kernel.interp"
 let c_cfun = Metrics.counter "kernel.cfun"
 
+(* Per-kernel ns/elt histograms (log₂ buckets).  Timing is off by
+   default — two clock reads per piece would tax production runs — and
+   switched on by the profiler and the bench harness. *)
+let timing = Atomic.make false
+let set_timing b = Atomic.set timing b
+let get_timing () = Atomic.get timing
+
+let h_stencil = Metrics.histogram "kernel.ns_elt.stencil"
+let h_linebuf = Metrics.histogram "kernel.ns_elt.linebuf"
+let h_copy = Metrics.histogram "kernel.ns_elt.copy"
+let h_generic = Metrics.histogram "kernel.ns_elt.generic"
+let h_interp = Metrics.histogram "kernel.ns_elt.interp"
+let h_cfun = Metrics.histogram "kernel.ns_elt.cfun"
+
 let counters () =
   [ ("stencil", Metrics.value c_stencil);
     ("linebuf", Metrics.value c_linebuf);
@@ -588,6 +602,7 @@ type k3 =
   | K3stencil_lb of stencil3 * int * int array
   | K3zip
   | K3flat
+  | K3cfun of Cfun.t
   | K3generic
 
 let k3_name = function
@@ -596,17 +611,21 @@ let k3_name = function
   | K3stencil_lb _ -> "linebuf"
   | K3zip -> "zip"
   | K3flat -> "flat"
+  | K3cfun _ -> "cfun"
   | K3generic -> "generic"
 
 (* Rebuild a stencil payload against (freshly bound and/or base-shifted)
-   clusters; [koff] is the payload's displacement in outer-axis steps. *)
-let rebind_k3 (clusters : ccluster array) ~koff = function
-  | (K3copy | K3zip | K3flat | K3generic) as k -> k
+   clusters; [koff0]/[koff1] are the payload's displacement in whole
+   axis-0/axis-1 steps (tiled pieces displace along both).  Compiled
+   cfun kernels read buffers and bases from the live cluster array at
+   run time, so they need no rebinding at all. *)
+let rebind_k3 (clusters : ccluster array) ~koff0 ~koff1 = function
+  | (K3copy | K3zip | K3flat | K3cfun _ | K3generic) as k -> k
   | K3stencil (s, si, eidx) ->
       K3stencil
         ( { s with
             sbuf = clusters.(si).xbuf;
-            sbase = s.sbase + (koff * s.s_st0);
+            sbase = s.sbase + (koff0 * s.s_st0) + (koff1 * s.s_st1);
             extras = Array.map (fun i -> clusters.(i)) eidx;
           },
           si,
@@ -615,13 +634,31 @@ let rebind_k3 (clusters : ccluster array) ~koff = function
       K3stencil_lb
         ( { s with
             sbuf = clusters.(si).xbuf;
-            sbase = s.sbase + (koff * s.s_st0);
+            sbase = s.sbase + (koff0 * s.s_st0) + (koff1 * s.s_st1);
             extras = Array.map (fun i -> clusters.(i)) eidx;
           },
           si,
           eidx )
 
-let choose_k3 ~line_buffers ~const (clusters : ccluster array) ~osteps =
+(* Debug aid: dump the cluster structure of parts that fall to the
+   generic nest (WL_DEBUG_KERNEL=1), to see what cfun must cover. *)
+let debug_generic (clusters : ccluster array) =
+  if Sys.getenv_opt "WL_DEBUG_KERNEL" <> None then
+    Format.eprintf "GENERIC nc=%d %s@." (Array.length clusters)
+      (String.concat " | "
+         (Array.to_list
+            (Array.map
+               (fun cl ->
+                 Printf.sprintf "steps=%s groups=%s"
+                   (Shape.to_string cl.xsteps)
+                   (String.concat ";"
+                      (Array.to_list
+                         (Array.map2
+                            (fun c ds -> Printf.sprintf "%g*%d" c (Array.length ds))
+                            cl.xcoeffs cl.xdeltas))))
+               clusters)))
+
+let choose_k3 ~line_buffers ~cfun ~const (clusters : ccluster array) ~osteps =
   if is_plain_copy ~const clusters ~osteps then K3copy
   else
     match recognize_stencil3 clusters ~osteps with
@@ -642,9 +679,12 @@ let choose_k3 ~line_buffers ~const (clusters : ccluster array) ~osteps =
       when Array.length clusters = 1
            && Array.fold_left (fun acc ds -> acc + Array.length ds) 0 clusters.(0).xdeltas <= 8 ->
         K3flat
-    | None -> K3generic
+    | None when cfun -> K3cfun (Cfun.compile ~const clusters ~osteps)
+    | None ->
+        debug_generic clusters;
+        K3generic
 
-let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
+let run_k3_untimed ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
     ~(counts : int array) =
   match k with
   | K3copy ->
@@ -673,9 +713,32 @@ let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~o
   | K3flat ->
       Metrics.incr c_interp;
       run_flat3 ~const clusters.(0) out ~obase ~osteps ~counts
+  | K3cfun f ->
+      Metrics.incr c_cfun;
+      Cfun.run f clusters out ~obase ~osteps ~counts
   | K3generic ->
       Metrics.incr c_generic;
       run_generic3 ~const clusters out ~obase ~osteps ~counts
+
+let h_of = function
+  | K3copy -> h_copy
+  | K3stencil _ -> h_stencil
+  | K3stencil_lb _ -> h_linebuf
+  | K3zip | K3flat -> h_interp
+  | K3cfun _ -> h_cfun
+  | K3generic -> h_generic
+
+let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
+    ~(counts : int array) =
+  if not (Atomic.get timing) then
+    run_k3_untimed ~const k clusters out ~obase ~osteps ~counts
+  else begin
+    let t0 = Mg_smp.Clock.now_ns () in
+    run_k3_untimed ~const k clusters out ~obase ~osteps ~counts;
+    let dt = Int64.to_int (Int64.sub (Mg_smp.Clock.now_ns ()) t0) in
+    let elts = counts.(0) * counts.(1) * counts.(2) in
+    if elts > 0 then Metrics.observe (h_of k) (dt / elts)
+  end
 
 (* Generic any-rank cluster nest (parts that are not rank 3). *)
 let run_lin_generic ~const (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps

@@ -32,6 +32,17 @@ val reset_counters : unit -> unit
 (** Zero the kernel-path counters only (other registry instruments are
     untouched). *)
 
+(** {1 Per-kernel timing}
+
+    When enabled, {!run_k3} times each piece and records truncated
+    ns-per-element into per-path log₂ histograms
+    ([kernel.ns_elt.stencil], [kernel.ns_elt.cfun], …), rendered by
+    {!Mg_obs.Profile_report} and dumped into [bench.json].  Off by
+    default: timing costs two monotonic clock reads per piece. *)
+
+val set_timing : bool -> unit
+val get_timing : unit -> bool
+
 (** {1 Rank-3 kernel dispatch} *)
 
 (** The kernel choice for a rank-3 part, decided once at compile time.
@@ -41,14 +52,17 @@ type k3
 val k3_name : k3 -> string
 
 val choose_k3 :
-  line_buffers:bool -> const:float -> Cluster.ccluster array -> osteps:int array -> k3
+  line_buffers:bool -> cfun:bool -> const:float -> Cluster.ccluster array -> osteps:int array -> k3
 (** Recognise the part's kernel: identity copy, box stencil (line
     buffered when [line_buffers] and the inner walk is unit), zip of
-    single reads, flat-weighted single cluster, or generic. *)
+    single reads, flat-weighted single cluster — and for everything
+    else, a {!Cfun}-compiled closure when [cfun], the interpreted
+    generic nest otherwise. *)
 
-val rebind_k3 : Cluster.ccluster array -> koff:int -> k3 -> k3
+val rebind_k3 : Cluster.ccluster array -> koff0:int -> koff1:int -> k3 -> k3
 (** Rebuild a kernel payload against clusters that were rebound to
-    fresh buffers and/or base-shifted by [koff] outer-axis steps. *)
+    fresh buffers and/or base-shifted by [koff0] axis-0 steps and
+    [koff1] axis-1 steps (tiled pieces displace along both). *)
 
 val run_k3 :
   const:float ->

@@ -30,7 +30,7 @@ type compiled =
 let compiled_card = function Ccompiled c -> c.kcard | Cclosure (_, card, _) -> card
 let compiled_gen = function Ccompiled c -> c.kgen | Cclosure (g, _, _) -> g
 
-let compile_part ~factor ~line_buffers ~ostrides (p : Ir.part) : compiled =
+let compile_part ~factor ~line_buffers ~cfun ~ostrides (p : Ir.part) : compiled =
   let gen = p.Ir.gen in
   let card = Generator.cardinal gen in
   match Span.with_ ~name:"wl:linform" (fun () -> Linform.of_expr p.Ir.body) with
@@ -49,7 +49,7 @@ let compile_part ~factor ~line_buffers ~ostrides (p : Ir.part) : compiled =
                 if Array.length ax.Cluster.counts = 3 then
                   Some
                     (Span.with_ ~name:"wl:kernel-choice" (fun () ->
-                         Kernel.choose_k3 ~line_buffers ~const clusters ~osteps:kosteps))
+                         Kernel.choose_k3 ~line_buffers ~cfun ~const clusters ~osteps:kosteps))
                 else None
               in
               Ccompiled
@@ -94,7 +94,10 @@ let dummy_buf : Ndarray.buffer =
 
 let rebind_cpart (cpt : cpart) (rebuf : int -> Ndarray.buffer) =
   let kclusters = Array.mapi (fun j cl -> Cluster.with_buffer cl (rebuf j)) cpt.kclusters in
-  { cpt with kclusters; kkernel = Option.map (Kernel.rebind_k3 kclusters ~koff:0) cpt.kkernel }
+  { cpt with
+    kclusters;
+    kkernel = Option.map (Kernel.rebind_k3 kclusters ~koff0:0 ~koff1:0) cpt.kkernel;
+  }
 
 let strip_cpart (cp : cpart) = rebind_cpart cp (fun _ -> dummy_buf)
 

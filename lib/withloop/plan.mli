@@ -32,9 +32,11 @@ val compiled_card : compiled -> int
 val compiled_gen : compiled -> Generator.t
 
 val compile_part :
-  factor:bool -> line_buffers:bool -> ostrides:int array -> Ir.part -> compiled
-(** Linear-form extraction, clustering, output layout, kernel choice;
-    [Cclosure] when any stage fails to apply. *)
+  factor:bool -> line_buffers:bool -> cfun:bool -> ostrides:int array -> Ir.part -> compiled
+(** Linear-form extraction, clustering, output layout, kernel choice
+    ([cfun] stages unrecognised bodies into {!Cfun} closures instead
+    of the interpreted generic nest); [Cclosure] when any stage fails
+    to apply. *)
 
 (** {1 Cached plans} *)
 

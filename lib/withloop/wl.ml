@@ -77,6 +77,25 @@ let with_line_buffers b f =
       line_buffers := saved;
       raise e
 
+let cfun = ref true
+
+let set_cfun b = cfun := b
+let get_cfun () = !cfun
+
+let with_cfun b f =
+  let saved = !cfun in
+  cfun := b;
+  match f () with
+  | r ->
+      cfun := saved;
+      r
+  | exception e ->
+      cfun := saved;
+      raise e
+
+let set_kernel_timing b = Kernel.set_timing b
+let get_kernel_timing () = Kernel.get_timing ()
+
 let set_split_threshold n = split_threshold := n
 
 let set_opt_level l = opt_level := l
@@ -99,16 +118,20 @@ let set_par_threshold n = par_threshold := n
 
 let settings () : Exec.settings =
   let t = !split_threshold in
-  let fusion, factor =
+  (* Staged kernel compilation joins at O2, like folding: O0/O1 keep
+     the interpreted generic nest so the ablation harness can isolate
+     each optimisation. *)
+  let fusion, factor, cfun_on =
     match !opt_level with
-    | O0 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false)
-    | O1 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true)
-    | O2 -> ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true)
-    | O3 -> ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true)
+    | O0 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false, false)
+    | O1 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true, false)
+    | O2 -> ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true, !cfun)
+    | O3 -> ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true, !cfun)
   in
   { Exec.fusion;
     factor;
     line_buffers = !line_buffers;
+    cfun = cfun_on;
     pool = Mg_smp.Domain_pool.get_global;
     par_threshold = !par_threshold;
     sched = !sched_policy;

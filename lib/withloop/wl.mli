@@ -97,6 +97,24 @@ val set_line_buffers : bool -> unit
 val get_line_buffers : unit -> bool
 val with_line_buffers : bool -> (unit -> 'a) -> 'a
 
+val set_cfun : bool -> unit
+(** Enable staged kernel compilation (default [true], effective at
+    O2+): rank-3 bodies no fixed kernel recognises are compiled into
+    {!Cfun} closures — delta offsets unrolled, layouts let-bound —
+    instead of the interpreted generic cluster nest.  Compiled kernels
+    are cached inside their plans. *)
+
+val get_cfun : unit -> bool
+val with_cfun : bool -> (unit -> 'a) -> 'a
+
+val set_kernel_timing : bool -> unit
+(** Record per-kernel ns/elt log₂ histograms ([kernel.ns_elt.*] in
+    {!Mg_obs.Metrics}) on every piece execution.  Off by default — two
+    monotonic clock reads per piece; [mg_run --profile] and the bench
+    harness switch it on. *)
+
+val get_kernel_timing : unit -> bool
+
 val set_sched_policy : Mg_smp.Sched_policy.t -> unit
 (** Chunk shape for parallel with-loop parts (default
     {!Mg_smp.Sched_policy.Static_block}): one block per worker, or

@@ -128,6 +128,49 @@ let qcheck_scaled_reads =
       let want = Ndarray.init shp (fun iv -> Ndarray.get src (Shape.scale 2 iv)) in
       Ndarray.equal got want)
 
+(* ------------------------------------------------------------------ *)
+(* Staged kernel compilation (Cfun): the compiled closures must be
+   bitwise identical to the interpreted generic cluster nest — same
+   accumulation order, same leading [0.0 +.] in every group sum — on
+   random rank-3 clustered bodies.  Coefficients are drawn from a small
+   set so factoring produces groups of many deltas, covering every
+   unrolled arity arm and the >12-delta loop fallback. *)
+
+let gen_cfun_spec =
+  QCheck.Gen.(
+    let* extent = 5 -- 8 in
+    let* radius = 0 -- 1 in
+    let* nterms = 1 -- 27 in
+    let* coeffs = list_size (return nterms) (oneofl [ 0.5; -1.0; 2.0; 0.125 ]) in
+    let* offs = list_size (return nterms) (list_size (return 3) (-radius -- radius)) in
+    let* const = float_range (-1.0) 1.0 in
+    let* strided = bool in
+    return { rank = 3; extent; radius; terms = List.combine offs coeffs; const; strided })
+
+let arb_cfun_spec = QCheck.make ~print:print_spec gen_cfun_spec
+
+(* How many samples actually dispatched a compiled closure (bodies the
+   fixed kernels recognise bypass Cfun); checked after the qcheck run. *)
+let cfun_dispatches = ref 0
+
+let qcheck_cfun_bitwise_generic =
+  QCheck.Test.make ~name:"compiled cfun closures bitwise match the generic nest" ~count:200
+    arb_cfun_spec
+    (fun s ->
+      let c_cfun = Mg_obs.Metrics.counter "kernel.cfun" in
+      let force cfun =
+        Wl.with_cfun cfun (fun () -> Wl.with_opt_level Wl.O3 (fun () -> force_spec s))
+      in
+      let before = Mg_obs.Metrics.value c_cfun in
+      let compiled = force true in
+      if Mg_obs.Metrics.value c_cfun > before then incr cfun_dispatches;
+      Ndarray.equal compiled (force false))
+
+let test_cfun_path_exercised () =
+  Alcotest.(check bool)
+    (Printf.sprintf "qcheck samples dispatched compiled closures (%d did)" !cfun_dispatches)
+    true (!cfun_dispatches > 0)
+
 (* Buffer recycling: a node whose cache was recycled after its last
    consumer ran must transparently recompute when forced again, and
    results obtained before recycling must never change. *)
@@ -184,13 +227,26 @@ let stencil27 w =
   done;
   !body
 
+(* A body the fixed kernels do not recognise (9 scattered offsets, not
+   a box): at O3 with cfun on it runs through the compiled closures, so
+   the identity matrix also pits cfun against generic under every
+   policy, tile shape, backend and domain count. *)
+let scattered9 w =
+  List.fold_left
+    (fun acc (d, c) -> E.(acc + (const c * read_offset w d)))
+    (E.const 0.0)
+    [ ([| 0; 0; 0 |], -1.25); ([| 1; 0; -1 |], 0.5); ([| -1; 1; 0 |], 0.5);
+      ([| 0; -1; 1 |], 2.0); ([| 1; 1; 1 |], 0.5); ([| -1; -1; -1 |], 2.0);
+      ([| 1; -1; 0 |], -1.25); ([| 0; 1; -1 |], 0.5); ([| -1; 0; 1 |], 2.0);
+    ]
+
 let test_policies_backends_bitwise_identical () =
   let n = 24 in
   let shp = [| n; n; n |] in
   let src = src_of_seed shp 42 in
   let gen = Generator.interior shp 1 in
   let saved_threads = Wl.get_threads () in
-  let force_with ~threads ~sched ~backend =
+  let force_with ~threads ~sched ~backend ~cfun body =
     (* Fresh plans per configuration; par_threshold 1 forces the
        parallel split even on this small grid. *)
     Wl.cache_clear ();
@@ -201,32 +257,55 @@ let test_policies_backends_bitwise_identical () =
         Wl.set_par_threshold 16384;
         Wl.set_threads saved_threads)
       (fun () ->
-        Wl.with_sched_policy sched (fun () ->
-            Wl.with_backend backend (fun () ->
-                let w = Wl.of_ndarray src in
-                Ndarray.copy
-                  (Wl.force (Wl.genarray ~default:0.0 shp [ (gen, stencil27 w) ])))))
+        Wl.with_cfun cfun (fun () ->
+            Wl.with_sched_policy sched (fun () ->
+                Wl.with_backend backend (fun () ->
+                    let w = Wl.of_ndarray src in
+                    Ndarray.copy
+                      (Wl.force (Wl.genarray ~default:0.0 shp [ (gen, body w) ]))))))
   in
-  let reference =
-    force_with ~threads:1 ~sched:Mg_smp.Sched_policy.Static_block ~backend:Backend.default
+  let policies =
+    [ Mg_smp.Sched_policy.Static_block;
+      Mg_smp.Sched_policy.Dynamic_chunked 3;
+      (* Tile-shape sweep: degenerate 1×1 tiles, small and default
+         shapes, and tiles larger than the whole iteration space. *)
+      Mg_smp.Sched_policy.Tiled { planes = 1; rows = 1 };
+      Mg_smp.Sched_policy.Tiled { planes = 2; rows = 8 };
+      Mg_smp.Sched_policy.Tiled { planes = 8; rows = 32 };
+      Mg_smp.Sched_policy.Tiled { planes = 64; rows = 64 };
+    ]
   in
   List.iter
-    (fun threads ->
+    (fun (body_name, body, cfuns) ->
+      (* The reference runs sequentially through the interpreted
+         generic nest (cfun off), so cfun-on configurations check
+         compiled-vs-interpreted identity too. *)
+      let reference =
+        force_with ~threads:1 ~sched:Mg_smp.Sched_policy.Static_block
+          ~backend:Backend.default ~cfun:false body
+      in
       List.iter
-        (fun sched ->
+        (fun cfun ->
           List.iter
-            (fun (bname, backend) ->
-              let got = force_with ~threads ~sched ~backend in
-              Alcotest.(check bool)
-                (Printf.sprintf "bitwise identical: %d domains, %s, %s" threads
-                   (Mg_smp.Sched_policy.to_string sched)
-                   bname)
-                true (Ndarray.equal got reference))
-            [ ("pool", (module Backend.Pool : Backend.S));
-              ("smp_sim", (module Backend.Smp_sim : Backend.S));
-            ])
-        [ Mg_smp.Sched_policy.Static_block; Mg_smp.Sched_policy.Dynamic_chunked 3 ])
-    [ 1; 2; 4 ]
+            (fun threads ->
+              List.iter
+                (fun sched ->
+                  List.iter
+                    (fun (bname, backend) ->
+                      let got = force_with ~threads ~sched ~backend ~cfun body in
+                      Alcotest.(check bool)
+                        (Printf.sprintf "bitwise identical: %s, cfun=%b, %d domains, %s, %s"
+                           body_name cfun threads
+                           (Mg_smp.Sched_policy.to_string sched)
+                           bname)
+                        true (Ndarray.equal got reference))
+                    [ ("pool", (module Backend.Pool : Backend.S));
+                      ("smp_sim", (module Backend.Smp_sim : Backend.S));
+                    ])
+                policies)
+            [ 1; 2; 4 ])
+        cfuns)
+    [ ("stencil27", stencil27, [ true ]); ("scattered9", scattered9, [ false; true ]) ]
 
 (* The executor buffer pool is shared state hammered from worker
    domains (replays recycle buffers inside parallel regions); this
@@ -277,6 +356,8 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_replay_matches_oracle;
       QCheck_alcotest.to_alcotest qcheck_all_opt_levels;
       QCheck_alcotest.to_alcotest qcheck_scaled_reads;
+      QCheck_alcotest.to_alcotest qcheck_cfun_bitwise_generic;
+      Alcotest.test_case "cfun path exercised by qcheck" `Quick test_cfun_path_exercised;
       Alcotest.test_case "recompute after recycle" `Quick test_recompute_after_recycle;
       Alcotest.test_case "escaped values stable" `Quick test_escaped_values_stable;
       Alcotest.test_case "policies/backends bitwise identical" `Quick
