@@ -30,6 +30,16 @@ profile-smoke: build
 	        if (cv == 0) { print "profile-smoke: kernel.cfun never dispatched"; exit 1 }; \
 	        if (gv * 10 > gv + cv) { print "profile-smoke: kernel.generic " gv " exceeds 10% of " gv+cv; exit 1 }; \
 	        print "profile-smoke: cfun takeover OK (cfun=" cv ", generic=" gv ")" }' results/profile-w.txt
+	# The buffer-reuse pass must have fired (on by default at O2+), and
+	# fresh pool allocation must stay under a regression ceiling.  Reuse
+	# barely moves alloc_bytes on its own -- the pool already satisfies
+	# steady-state demand -- so the two assertions guard different
+	# things: hits>0 the aliasing pass, the ceiling the allocator.
+	awk '/^  mempool\.reuse_hits /{h=$$2} /^  mempool\.alloc_bytes /{b=$$2} \
+	  END { hv=h+0; bv=b+0; \
+	        if (hv == 0) { print "profile-smoke: buffer-reuse pass never fired"; exit 1 }; \
+	        if (bv > 700000000) { print "profile-smoke: mempool.alloc_bytes " bv " exceeds the 700 MB ceiling"; exit 1 }; \
+	        print "profile-smoke: buffer reuse OK (hits=" hv ", alloc=" bv " bytes)" }' results/profile-w.txt
 
 check: build test smoke profile-smoke
 

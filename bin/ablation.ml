@@ -193,6 +193,49 @@ let memory_ablation (cls : Classes.t) =
               h.Mg_obs.Metrics.sum)
       (Mg_obs.Metrics.dump ())
 
+(* E11: the in-place-update story — the full benchmark with the
+   executor's buffer-reuse analysis on and off, crossed with the kernel
+   path.  [mempool.reuse_hits] counts sweeps that wrote through a dead
+   operand's buffer; [mempool.alloc_bytes] counts fresh Bigarray
+   allocation the pool could not satisfy; minor words come from [Gc].
+   Each run starts from a cleared plan cache and buffer pool so the
+   allocation columns are comparable. *)
+let reuse_ablation (cls : Classes.t) =
+  Printf.printf "# Buffer-reuse ablation: %s (in-place update of dead operands)\n" cls.Classes.name;
+  Printf.printf "# reuse=on aliases a fully covered sweep's output with a dead operand's\n";
+  Printf.printf "# buffer when every read of it is an identity read (off: pool alloc).\n\n";
+  let c_hits = Mg_obs.Metrics.counter "mempool.reuse_hits" in
+  let c_bytes = Mg_obs.Metrics.counter "mempool.alloc_bytes" in
+  let rows =
+    List.map
+      (fun (path, cfun, reuse) ->
+        Wl.cache_clear ();
+        Mg_withloop.Mempool.clear ();
+        let h0 = Mg_obs.Metrics.value c_hits and b0 = Mg_obs.Metrics.value c_bytes in
+        let mw0 = (Gc.quick_stat ()).Gc.minor_words in
+        let r =
+          Wl.with_cfun cfun (fun () -> Driver.run ~reuse ~impl:Driver.Sac ~cls ())
+        in
+        let h1 = Mg_obs.Metrics.value c_hits and b1 = Mg_obs.Metrics.value c_bytes in
+        let mw1 = (Gc.quick_stat ()).Gc.minor_words in
+        [ path;
+          (if reuse then "on" else "off");
+          Printf.sprintf "%.3f" r.Driver.seconds;
+          string_of_int (h1 - h0);
+          Printf.sprintf "%.1f MB" (float_of_int (b1 - b0) /. 1e6);
+          Printf.sprintf "%.1f MW" ((mw1 -. mw0) /. 1e6);
+          Format.asprintf "%a" Verify.pp_status r.Driver.status;
+        ])
+      [ ("generic", false, false);
+        ("generic", false, true);
+        ("cfun", true, false);
+        ("cfun", true, true);
+      ]
+  in
+  Table.render Format.std_formatter
+    ~header:[ "kernel path"; "reuse"; "seconds"; "reuse hits"; "pool alloc"; "minor words"; "verification" ]
+    ~align:[ Table.L; Table.L; Table.R; Table.R; Table.R; Table.R; Table.L ] rows
+
 (* E8: the §7 "future work" — direct periodic relaxation on bare grids
    (Mg_periodic) against the border-based benchmark program (Mg_sac). *)
 let periodic_ablation (cls : Classes.t) =
@@ -213,10 +256,10 @@ let periodic_ablation (cls : Classes.t) =
   Table.render Format.std_formatter ~header:[ "implementation"; "seconds"; "rnm2"; "verification" ]
     ~align:[ Table.L; Table.R; Table.R; Table.L ] rows
 
-let run stencil fusion memory periodic kernelpath kernels n cls =
+let run stencil fusion memory periodic kernelpath reuse kernels n cls =
   Exp_common.header ();
   Option.iter Wl.set_cfun kernels;
-  let any = stencil || fusion || memory || periodic || kernelpath in
+  let any = stencil || fusion || memory || periodic || kernelpath || reuse in
   if stencil || not any then stencil_ablation n;
   if kernelpath || not any then begin
     if stencil || not any then Printf.printf "\n";
@@ -229,6 +272,10 @@ let run stencil fusion memory periodic kernelpath kernels n cls =
   if memory || not any then begin
     Printf.printf "\n";
     memory_ablation cls
+  end;
+  if reuse || not any then begin
+    Printf.printf "\n";
+    reuse_ablation cls
   end;
   if periodic || not any then begin
     Printf.printf "\n";
@@ -245,6 +292,9 @@ let periodic_arg = Arg.(value & flag & info [ "periodic" ] ~doc:"Border-based vs
 
 let kernelpath_arg =
   Arg.(value & flag & info [ "kernel-path" ] ~doc:"Generic-vs-cfun kernel-path ablation only.")
+
+let reuse_arg =
+  Arg.(value & flag & info [ "reuse" ] ~doc:"Buffer-reuse (in-place update) ablation only.")
 
 let kernels_arg =
   Arg.(value
@@ -271,6 +321,6 @@ let cmd =
   Cmd.v
     (Cmd.info "ablation" ~doc:"ablation studies for the paper's §5 design analysis")
     Term.(const run $ stencil_arg $ fusion_arg $ memory_arg $ periodic_arg $ kernelpath_arg
-          $ kernels_arg $ n_arg $ class_arg)
+          $ reuse_arg $ kernels_arg $ n_arg $ class_arg)
 
 let () = exit (Cmd.eval' cmd)

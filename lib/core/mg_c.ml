@@ -213,3 +213,5 @@ let interp ~coarse ~fine =
 let routines = { Schedule.impl_name = "c"; resid; psinv; rprj3; interp }
 
 let run cls = Schedule.run routines cls
+
+let residual_norms cls = Schedule.residual_norms routines cls

@@ -24,3 +24,6 @@ val interp : coarse:Ndarray.t -> fine:Ndarray.t -> unit
 
 val routines : Schedule.routines
 val run : Classes.t -> float * float
+
+val residual_norms : Classes.t -> float array
+(** Per-iteration residual L2 norms via {!Schedule.residual_norms}. *)

@@ -294,3 +294,5 @@ let routines =
   { Schedule.impl_name = "f77"; resid; psinv; rprj3; interp }
 
 let run cls = Schedule.run routines cls
+
+let residual_norms cls = Schedule.residual_norms routines cls

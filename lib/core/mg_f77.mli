@@ -50,3 +50,6 @@ val run : Classes.t -> float * float
 (** Fresh setup + iterate via {!Schedule.run}; returns
     [(rnm2, seconds)] where seconds covers exactly the iteration
     phase. *)
+
+val residual_norms : Classes.t -> float array
+(** Per-iteration residual L2 norms via {!Schedule.residual_norms}. *)

@@ -46,3 +46,8 @@ val run : Classes.t -> float * float
     optimisation level and thread count: [(rnm2, seconds)] with
     seconds covering the iteration phase, input from {!Zran3} and the
     norm from {!Verify}. *)
+
+val residual_norms : Classes.t -> float array
+(** The residual L2 norm after each of the [nit] iterations (the last
+    equals {!run}'s [rnm2]); frozen bitwise by the golden-vector
+    tests. *)

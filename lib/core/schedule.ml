@@ -57,6 +57,23 @@ let final_norm st =
   let lt = Classes.levels st.cls in
   Verify.norm2u3 st.r.(lt) ~n:st.cls.Classes.nx
 
+(* [iterate], but recording the residual L2 norm after each
+   iteration's trailing resid — the golden-vector tests freeze these
+   per-iteration norms bitwise. *)
+let residual_norms rt cls =
+  let st = setup cls in
+  let lt = Classes.levels st.cls in
+  let a = Stencil.to_array Stencil.a in
+  rt.resid ~u:st.u.(lt) ~v:st.v ~r:st.r.(lt) ~a;
+  let nit = st.cls.Classes.nit in
+  let norms = Array.make nit 0.0 in
+  for i = 0 to nit - 1 do
+    mg3p rt st;
+    rt.resid ~u:st.u.(lt) ~v:st.v ~r:st.r.(lt) ~a;
+    norms.(i) <- fst (Verify.norm2u3 st.r.(lt) ~n:st.cls.Classes.nx)
+  done;
+  norms
+
 let run rt cls =
   let st = setup cls in
   let t0 = Clock.now () in

@@ -41,3 +41,8 @@ val final_norm : state -> float * float
 
 val run : routines -> Classes.t -> float * float
 (** Fresh setup + timed {!iterate}; [(rnm2, seconds)]. *)
+
+val residual_norms : routines -> Classes.t -> float array
+(** Fresh setup + {!iterate}, recording the residual L2 norm after
+    each iteration ([nit] entries; the last equals {!run}'s [rnm2]).
+    The golden-vector tests freeze these bitwise. *)

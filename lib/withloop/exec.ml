@@ -18,6 +18,7 @@ type settings = {
   factor : bool;
   line_buffers : bool;
   cfun : bool;
+  reuse : bool;
   pool : unit -> Domain_pool.t;
   par_threshold : int;
   sched : Sched_policy.t;
@@ -68,6 +69,58 @@ let release_sources (n : Ir.node) =
   List.iter (fun (p : Ir.part) -> List.iter consume (Ir.expr_sources p.Ir.body)) parts
 
 (* ------------------------------------------------------------------ *)
+(* Buffer reuse: a dying operand whose buffer the output may alias.
+
+   Legal when the operand is a direct node source of [n] with a cached
+   value of the output's shape, never escaped, whose only outstanding
+   consumer edges are exactly the ones [release_sources n] is about to
+   consume, and whose reads in the compiled parts are all identity
+   ([Plan.safe_to_alias]).  The edge count per source mirrors
+   [release_sources]: one for a modarray base plus one per part whose
+   deduplicated source list contains the node. *)
+
+let reuse_candidate (n : Ir.node) shape (compiled : Plan.compiled list) =
+  let base, parts =
+    match n.Ir.spec with
+    | Ir.Genarray { parts; _ } -> (None, parts)
+    | Ir.Modarray { base; parts } -> (Some base, parts)
+  in
+  let edges_of p =
+    let from_base = match base with Some (Ir.Node b) when b == p -> 1 | _ -> 0 in
+    List.fold_left
+      (fun acc (pt : Ir.part) ->
+        if
+          List.exists
+            (function Ir.Node s -> s == p | Ir.Arr _ -> false)
+            (Ir.expr_sources pt.Ir.body)
+        then acc + 1
+        else acc)
+      from_base parts
+  in
+  let srcs =
+    (match base with Some s -> [ s ] | None -> [])
+    @ List.concat_map (fun (pt : Ir.part) -> Ir.expr_sources pt.Ir.body) parts
+  in
+  let seen = Hashtbl.create 4 in
+  List.find_map
+    (function
+      | Ir.Arr _ -> None
+      | Ir.Node p ->
+          if Hashtbl.mem seen p.Ir.nid then None
+          else begin
+            Hashtbl.add seen p.Ir.nid ();
+            match p.Ir.cache with
+            | Some arr
+              when (not p.Ir.escaped)
+                   && arr.Ndarray.shape = shape
+                   && p.Ir.refs = edges_of p
+                   && Plan.safe_to_alias arr.Ndarray.data compiled ->
+                Some (p, arr, p.Ir.refs)
+            | _ -> None
+          end)
+    srcs
+
+(* ------------------------------------------------------------------ *)
 (* Plan cache                                                          *)
 
 type centry = CPlan of Plan.cplan | CUncacheable
@@ -83,9 +136,9 @@ let cache_clear () =
    absent: the parallel split is applied at execution time, so one
    plan serves any pool size, policy and backend. *)
 let env_of st =
-  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;cf=%b;" st.fusion.Fusion.fold
+  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;cf=%b;ru=%b;" st.fusion.Fusion.fold
     st.fusion.Fusion.split_strided st.fusion.Fusion.split_threshold st.factor st.line_buffers
-    st.cfun
+    st.cfun st.reuse
 
 (* ------------------------------------------------------------------ *)
 (* Forcing                                                             *)
@@ -143,7 +196,7 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
         memo.(i) <- Some b;
         b
   in
-  let stolen = match p.Plan.cmode with Plan.OSteal _ -> true | _ -> false in
+  let inplace = ref false in
   let out =
     match p.Plan.cmode with
     | Plan.OFresh -> Mempool.alloc shape
@@ -171,8 +224,28 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
                base resolve to the stolen buffer, as on the slow path. *)
             memo.(i) <- Some arr.Ndarray.data;
             Ir.clear_cache b;
+            inplace := true;
             arr
         | Ir.Arr _ -> invalid_arg "Exec: steal plan bound to a leaf array")
+    | Plan.OReuse { slot = i; edges } -> (
+        (* The stored aliasing decision replays only when this graph's
+           binding is still a dying unescaped node with exactly the
+           edges the decision assumed — the cache key records shape and
+           strides of a cached operand, not its liveness, so a replay
+           may see the operand live, escaped, or bound to a leaf.  Any
+           mismatch downgrades to a fresh allocation (reuse is a pure
+           optimisation; results are bitwise identical). *)
+        match bindings.(i) with
+        | Ir.Node b when (not b.Ir.escaped) && b.Ir.refs = edges ->
+            let arr = force st b in
+            memo.(i) <- Some arr.Ndarray.data;
+            Ir.clear_cache b;
+            if Mempool.get_debug () then
+              Mempool.assert_unpooled arr.Ndarray.data ~ctx:"replayed reuse output";
+            Mempool.note_reuse ();
+            inplace := true;
+            arr
+        | _ -> Mempool.alloc shape)
   in
   let parts =
     Array.to_list
@@ -195,7 +268,7 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
             (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
           elements = p.Plan.celements;
           seq_seconds = self;
-          bytes_alloc = (if stolen then 0 else 8 * Shape.num_elements shape);
+          bytes_alloc = (if !inplace then 0 else 8 * Shape.num_elements shape);
           parallel = true;
           level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
         }
@@ -223,6 +296,7 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
   let bindings_opt = Option.map snd record in
   let cacheable = ref (record <> None) in
   let mode = ref Plan.OFresh in
+  let reused : Ir.node option ref = ref None in
   (* Resolve a source to its binding slot for the stored plan's output
      mode; an unresolvable source makes the plan uncacheable. *)
   let record_mode src f =
@@ -309,7 +383,25 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
         arr
     | None ->
         let fully_covered = elements >= Shape.num_elements shape && base_src = None in
-        if fully_covered then Mempool.alloc shape
+        if fully_covered then begin
+          match if st.reuse then reuse_candidate n shape compiled else None with
+          | Some (p, arr, edges) ->
+              (* Write through the dying operand's buffer.  Its cache
+                 stays set until the plan is assembled below (the slot
+                 mapping resolves the identity clusters through it) and
+                 is cleared before [release_sources] runs, which would
+                 otherwise recycle the buffer out from under [n]. *)
+              reused := Some p;
+              record_mode (Ir.Node p) (fun i -> Plan.OReuse { slot = i; edges });
+              if Mempool.get_debug () then begin
+                Mempool.assert_unpooled arr.Ndarray.data ~ctx:"reuse output";
+                if not (Plan.safe_to_alias arr.Ndarray.data compiled) then
+                  failwith "Exec: hazardous in-place aliasing decision"
+              end;
+              Mempool.note_reuse ();
+              arr
+          | None -> Mempool.alloc shape
+        end
         else begin
           match (base_arr, base_src) with
           | Some base, Some src ->
@@ -353,6 +445,11 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
       | None ->
           Plan_cache.add plan_cache key CUncacheable;
           Plan_cache.note_uncacheable ());
+  (* Only now may the reused operand forget its (overwritten) buffer:
+     the assembly above resolved the identity clusters through its
+     cache, and [release_sources] must not recycle a buffer that is
+     live as [n]'s value. *)
+  (match !reused with Some p -> Ir.clear_cache p | None -> ());
   release_sources n;
   if timed then begin
     let total = Clock.now () -. t0 in
@@ -364,7 +461,9 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
             (match n.Ir.spec with Ir.Genarray _ -> "wl:genarray" | Ir.Modarray _ -> "wl:modarray");
           elements;
           seq_seconds = self;
-          bytes_alloc = (if stolen = None then 8 * Shape.num_elements shape else 0);
+          bytes_alloc =
+            (if stolen = None && Option.is_none !reused then 8 * Shape.num_elements shape
+             else 0);
           parallel = true;
           level_extent = (if Shape.rank shape > 0 then shape.(0) else 0);
         }

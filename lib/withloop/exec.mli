@@ -37,6 +37,13 @@ type settings = {
       (** Stage rank-3 bodies no fixed kernel recognises into {!Cfun}
           compiled closures instead of the interpreted generic nest
           (on at [O2]+ via {!Wl.settings}). *)
+  reuse : bool;
+      (** Buffer-reuse analysis — SAC's in-place update: a fully
+          covered sweep whose operand dies at this node and is only
+          read element-for-element writes its result through the dead
+          operand's buffer instead of drawing from {!Mempool} (on at
+          [O2]+ via {!Wl.settings}; [mempool.reuse_hits] counts the
+          aliasing events). *)
   pool : unit -> Mg_smp.Domain_pool.t;
   par_threshold : int;
       (** Minimum index-space cardinality before a part is run in
@@ -58,6 +65,8 @@ val cache_clear : unit -> unit
     untouched — use {!Plan_cache.reset_stats}). *)
 
 type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
+
+val apply_op : fold_op -> float -> float -> float
 
 val eval_fold :
   settings -> op:fold_op -> neutral:float -> Generator.t -> Ir.expr -> float

@@ -47,6 +47,13 @@ let rec expr_reads = function
   | Neg e | Sqrt e | Absf e -> expr_reads e
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Divf (a, b) -> expr_reads a @ expr_reads b
 
+let rec expr_has_opaque = function
+  | Const _ | Read _ -> false
+  | Opaque _ -> true
+  | Neg e | Sqrt e | Absf e -> expr_has_opaque e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Divf (a, b) ->
+      expr_has_opaque a || expr_has_opaque b
+
 let rec expr_map_reads f = function
   | (Const _ | Opaque _) as e -> e
   | Read (s, m) -> f s m

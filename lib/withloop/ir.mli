@@ -70,6 +70,10 @@ val node_of_ndarray : Ndarray.t -> source
 val expr_reads : expr -> (source * Ixmap.t) list
 (** All reads in an expression, left to right. *)
 
+val expr_has_opaque : expr -> bool
+(** Whether the expression contains an {!Opaque} leaf (whose reads
+    {!expr_reads} cannot enumerate). *)
+
 val expr_map_reads : (source -> Ixmap.t -> expr) -> expr -> expr
 (** Rebuild an expression, replacing every read. *)
 

@@ -11,6 +11,12 @@ let pool : (int, Ndarray.buffer list ref) Hashtbl.t = Hashtbl.create 16
 let max_per_size = 8
 let recycled = ref 0
 let reused = ref 0
+let debug = Atomic.make false
+let set_debug b = Atomic.set debug b
+let get_debug () = Atomic.get debug
+let c_reuse_hits = Mg_obs.Metrics.counter "mempool.reuse_hits"
+let c_alloc_bytes = Mg_obs.Metrics.counter "mempool.alloc_bytes"
+let note_reuse () = Mg_obs.Metrics.incr c_reuse_hits
 
 let locked f =
   Mutex.lock m;
@@ -35,7 +41,9 @@ let alloc shape =
   in
   match hit with
   | Some b -> Ndarray.of_buffer shape b
-  | None -> Ndarray.create_uninit shape
+  | None ->
+      Mg_obs.Metrics.add c_alloc_bytes (8 * len);
+      Ndarray.create_uninit shape
 
 let recycle (a : Ndarray.t) =
   let len = Ndarray.size a in
@@ -49,10 +57,21 @@ let recycle (a : Ndarray.t) =
               Hashtbl.add pool len cell;
               cell
         in
+        if Atomic.get debug && List.exists (fun b -> b == a.Ndarray.data) !cell then
+          failwith "Mempool: double recycle of a pooled buffer";
         if List.length !cell < max_per_size then begin
           cell := a.Ndarray.data :: !cell;
           incr recycled
         end)
+
+let assert_unpooled (b : Ndarray.buffer) ~ctx =
+  let pooled =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun _ cell acc -> acc || List.exists (fun p -> p == b) !cell)
+          pool false)
+  in
+  if pooled then failwith (Printf.sprintf "Mempool: %s aliases a pooled (free) buffer" ctx)
 
 let clear () = locked (fun () -> Hashtbl.reset pool)
 

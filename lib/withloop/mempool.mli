@@ -25,3 +25,21 @@ val clear : unit -> unit
 
 val stats : unit -> int * int
 (** [(reused, recycled)] counters since process start (diagnostics). *)
+
+val note_reuse : unit -> unit
+(** Record one in-place aliasing event ([mempool.reuse_hits]): the
+    executor produced a result directly into a dead operand's buffer
+    instead of drawing from the pool. *)
+
+val set_debug : bool -> unit
+(** Enable the aliasing guards: [recycle] fails on a buffer already in
+    its free list (double release), and the executor cross-checks every
+    in-place aliasing decision with {!assert_unpooled} and a structural
+    hazard re-scan of the compiled parts. *)
+
+val get_debug : unit -> bool
+
+val assert_unpooled : Ndarray.buffer -> ctx:string -> unit
+(** Fail if [b] currently sits in a free list — i.e. a buffer about to
+    be written through is simultaneously available for reallocation.
+    [ctx] names the caller in the error message. *)

@@ -75,6 +75,10 @@ type out_mode =
   | OComplement of int * Shape.t * Shape.t
       (** Modarray with one dense part: copy the base outside [lb,ub). *)
   | OSteal of int  (** Barrier modarray: update the base in place. *)
+  | OReuse of { slot : int; edges : int }
+      (** Fully covered sweep whose dead operand's buffer is written
+          through in place ([edges] = reference-count edges this node
+          holds on the operand; replay re-checks them). *)
 
 type cplan = {
   cmode : out_mode;
@@ -100,6 +104,71 @@ let rebind_cpart (cpt : cpart) (rebuf : int -> Ndarray.buffer) =
   }
 
 let strip_cpart (cp : cpart) = rebind_cpart cp (fun _ -> dummy_buf)
+
+(* ------------------------------------------------------------------ *)
+(* Buffer-reuse legality (in-place update)
+
+   The output of a fully covered sweep may alias a dead operand's
+   buffer only when no kernel can observe the overwrite: every read of
+   that buffer must be an *identity* read — element [e] of the operand
+   is read only while computing element [e] of the output.  Structurally
+   that is a cluster whose flat base and per-axis steps coincide with
+   the output layout and whose delta sets are all zero (offsets, strided
+   windows, transposes and broadcasts all shift base or steps).  Every
+   kernel nest reads a row element's operands before storing that
+   element, and pieces partition the index space, so identity reads stay
+   inside the piece under any backend, policy or tile shape — with one
+   exception: [Cfun] executes a row as a sequence of unrolled *passes*,
+   the first of which overwrites the whole row before later passes
+   accumulate.  An aliased buffer read by any pass but the first would
+   see partially accumulated values, so for [K3cfun] the aliased cluster
+   must be the first cluster and contribute exactly one pass. *)
+
+let cluster_identity (cp : cpart) (cl : Cluster.ccluster) =
+  cl.Cluster.xbase = cp.kobase
+  && cl.Cluster.xsteps = cp.kosteps
+  && Array.for_all (fun ds -> Array.for_all (fun d -> d = 0) ds) cl.Cluster.xdeltas
+
+let cpart_alias_safe (cp : cpart) (buf : Ndarray.buffer) =
+  Array.for_all
+    (fun (cl : Cluster.ccluster) -> cl.Cluster.xbuf != buf || cluster_identity cp cl)
+    cp.kclusters
+  &&
+  match cp.kkernel with
+  | Some k when Kernel.k3_name k = "cfun" ->
+      Array.for_all
+        (fun (cl : Cluster.ccluster) -> cl.Cluster.xbuf != buf)
+        cp.kclusters
+      || (Array.length cp.kclusters > 0
+         && cp.kclusters.(0).Cluster.xbuf == buf
+         && Array.length cp.kclusters.(0).Cluster.xdeltas = 1
+         && Array.for_all
+              (fun (cl : Cluster.ccluster) -> cl.Cluster.xbuf != buf)
+              (Array.sub cp.kclusters 1 (Array.length cp.kclusters - 1)))
+  | _ -> true
+
+(* Closure-path parts interpret the body directly: require an identity
+   index map on every read that resolves to the buffer, and reject
+   reads whose backing buffer is unknowable (unforced nodes, opaque
+   bodies make [Ir.expr_reads] under-approximate). *)
+let closure_alias_safe (body : Ir.expr) (buf : Ndarray.buffer) =
+  (not (Ir.expr_has_opaque body))
+  && List.for_all
+       (fun ((src : Ir.source), m) ->
+         match src with
+         | Ir.Arr a -> a.Ndarray.data != buf || Ixmap.is_identity m
+         | Ir.Node n -> (
+             match n.Ir.cache with
+             | Some arr -> arr.Ndarray.data != buf || Ixmap.is_identity m
+             | None -> false))
+       (Ir.expr_reads body)
+
+let safe_to_alias (buf : Ndarray.buffer) (compiled : compiled list) =
+  List.for_all
+    (function
+      | Ccompiled cp -> cpart_alias_safe cp buf
+      | Cclosure (_, _, body) -> closure_alias_safe body buf)
+    compiled
 
 (* ------------------------------------------------------------------ *)
 (* Plan assembly                                                       *)

@@ -49,6 +49,12 @@ type out_mode =
   | OComplement of int * Shape.t * Shape.t
       (** Modarray with one dense part: copy the base outside [lb,ub). *)
   | OSteal of int  (** Barrier modarray: update the base in place. *)
+  | OReuse of { slot : int; edges : int }
+      (** Fully covered sweep writing through a dead operand's buffer
+          in place; [edges] is the number of reference-count edges the
+          forced node holds on the operand, re-checked at replay (a
+          replayed graph may keep the operand live or escaped, in which
+          case the plan falls back to a fresh allocation). *)
 
 type cplan = {
   cmode : out_mode;
@@ -68,6 +74,16 @@ val rebind_cpart : cpart -> (int -> Ndarray.buffer) -> cpart
 
 val strip_cpart : cpart -> cpart
 (** Replace every cluster buffer by {!dummy_buf} (plan storage). *)
+
+val safe_to_alias : Ndarray.buffer -> compiled list -> bool
+(** Whether the output of a fully covered sweep may alias [buf]: every
+    read of [buf] in every compiled part must be an identity read
+    (cluster base and steps equal to the output layout, all deltas
+    zero; identity index map on the closure path), and for a {!Cfun}
+    kernel the aliased cluster must additionally be the first cluster
+    contributing exactly one unrolled pass — later passes read the
+    output buffer mid-accumulation.  Conservative: unknowable reads
+    (opaque bodies, unforced node reads) reject. *)
 
 val slot_of_source : Ir.source array -> Ir.source -> int option
 (** Index of a source among the key's bindings (physical identity,

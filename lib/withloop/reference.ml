@@ -1,0 +1,65 @@
+open Mg_ndarray
+
+(* The engine's executable specification: a per-element tree-walking
+   evaluator with none of the pipeline — no fusion, no linear forms,
+   no clustering, no kernels, no cfun staging, no buffer reuse, no
+   parallel split.  Every with-loop semantics question ("what should
+   this force produce?") is answered here in a dozen lines, and the
+   differential suite (test_reference_oracle.ml) holds the pipeline to
+   it bitwise.
+
+   The evaluator is functional: it never touches node caches or
+   reference counts, producers are (re)computed into private arrays
+   memoised per evaluation, and part bodies read the *original*
+   operand values even when the engine would alias the output onto an
+   operand's buffer. *)
+
+type memo = (int, Ndarray.t) Hashtbl.t
+
+let rec value_of (memo : memo) (s : Ir.source) : Ndarray.t =
+  match s with
+  | Ir.Arr a -> a
+  | Ir.Node n -> (
+      match Hashtbl.find_opt memo n.Ir.nid with
+      | Some a -> a
+      | None ->
+          let a = eval_node memo n in
+          Hashtbl.add memo n.Ir.nid a;
+          a)
+
+and eval_expr (memo : memo) (body : Ir.expr) (iv : Shape.t) : float =
+  match body with
+  | Ir.Const c -> c
+  | Ir.Read (s, m) -> Ndarray.get (value_of memo s) (Ixmap.apply m iv)
+  | Ir.Neg e -> -.eval_expr memo e iv
+  | Ir.Add (a, b) -> eval_expr memo a iv +. eval_expr memo b iv
+  | Ir.Sub (a, b) -> eval_expr memo a iv -. eval_expr memo b iv
+  | Ir.Mul (a, b) -> eval_expr memo a iv *. eval_expr memo b iv
+  | Ir.Divf (a, b) -> eval_expr memo a iv /. eval_expr memo b iv
+  | Ir.Sqrt e -> Float.sqrt (eval_expr memo e iv)
+  | Ir.Absf e -> Float.abs (eval_expr memo e iv)
+  | Ir.Opaque f -> f iv
+
+and eval_node (memo : memo) (n : Ir.node) : Ndarray.t =
+  let shape = n.Ir.nshape in
+  let out, parts =
+    match n.Ir.spec with
+    | Ir.Genarray { default; parts } -> (Ndarray.fill_value shape default, parts)
+    | Ir.Modarray { base; parts } -> (Ndarray.copy (value_of memo base), parts)
+  in
+  List.iter
+    (fun (p : Ir.part) ->
+      Generator.iter p.Ir.gen (fun iv -> Ndarray.set out iv (eval_expr memo p.Ir.body iv)))
+    parts;
+  out
+
+let run (s : Ir.source) : Ndarray.t =
+  match s with
+  | Ir.Arr a -> Ndarray.copy a
+  | Ir.Node n -> eval_node (Hashtbl.create 16) n
+
+let fold ~op ~neutral gen body =
+  let memo : memo = Hashtbl.create 16 in
+  let acc = ref neutral in
+  Generator.iter gen (fun iv -> acc := op !acc (eval_expr memo body iv));
+  !acc

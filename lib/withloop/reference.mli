@@ -1,0 +1,22 @@
+(** The engine's executable specification: a dirt-simple per-element
+    tree-walking evaluator with none of the pipeline — no fusion,
+    clustering, kernel recognition, cfun staging, buffer reuse or
+    parallel split.  The differential oracle suite holds every
+    optimised configuration to this evaluator bitwise.
+
+    Purely functional with respect to the IR graph: node caches,
+    reference counts and escape flags are neither read nor written;
+    producers are recomputed into private arrays memoised for the
+    duration of one evaluation. *)
+
+open Mg_ndarray
+
+val run : Ir.source -> Ndarray.t
+(** Evaluate a (possibly delayed) array: genarray fills the default
+    then executes parts in list order; modarray copies the base first.
+    Part bodies read original operand values (functional semantics).
+    The result is always a fresh array. *)
+
+val fold : op:(float -> float -> float) -> neutral:float -> Generator.t -> Ir.expr -> float
+(** Reduce the body over the generator in row-major order starting
+    from [neutral]. *)

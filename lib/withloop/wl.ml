@@ -93,10 +93,27 @@ let with_cfun b f =
       cfun := saved;
       raise e
 
+let reuse = ref true
+
+let set_reuse b = reuse := b
+let get_reuse () = !reuse
+
+let with_reuse b f =
+  let saved = !reuse in
+  reuse := b;
+  match f () with
+  | r ->
+      reuse := saved;
+      r
+  | exception e ->
+      reuse := saved;
+      raise e
+
 let set_kernel_timing b = Kernel.set_timing b
 let get_kernel_timing () = Kernel.get_timing ()
 
 let set_split_threshold n = split_threshold := n
+let get_split_threshold () = !split_threshold
 
 let set_opt_level l = opt_level := l
 let get_opt_level () = !opt_level
@@ -118,20 +135,24 @@ let set_par_threshold n = par_threshold := n
 
 let settings () : Exec.settings =
   let t = !split_threshold in
-  (* Staged kernel compilation joins at O2, like folding: O0/O1 keep
-     the interpreted generic nest so the ablation harness can isolate
-     each optimisation. *)
-  let fusion, factor, cfun_on =
+  (* Staged kernel compilation and buffer reuse join at O2, like
+     folding: O0/O1 keep the interpreted generic nest and fresh
+     allocations so the ablation harness can isolate each
+     optimisation. *)
+  let fusion, factor, cfun_on, reuse_on =
     match !opt_level with
-    | O0 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false, false)
-    | O1 -> ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true, false)
-    | O2 -> ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true, !cfun)
-    | O3 -> ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true, !cfun)
+    | O0 ->
+        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false, false, false)
+    | O1 ->
+        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true, false, false)
+    | O2 -> ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true, !cfun, !reuse)
+    | O3 -> ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true, !cfun, !reuse)
   in
   { Exec.fusion;
     factor;
     line_buffers = !line_buffers;
     cfun = cfun_on;
+    reuse = reuse_on;
     pool = Mg_smp.Domain_pool.get_global;
     par_threshold = !par_threshold;
     sched = !sched_policy;
@@ -146,6 +167,24 @@ let force : t -> Ndarray.t = function
       Lazy.force tune_gc;
       Ir.mark_escaped n;
       Exec.force (settings ()) n
+
+(* Force without escaping: the value is materialised (so consumers
+   read a buffer instead of folding a deep graph) but stays eligible
+   for reference-count-driven reuse — its buffer may be overwritten in
+   place by a later consumer, or recycled, once its last registered
+   consumer executes.  The driver's V-cycle uses this at iteration
+   boundaries; user code that keeps the array must use [force]. *)
+let materialize : t -> t = function
+  | Ir.Arr _ as s -> s
+  | Ir.Node n as s ->
+      Lazy.force tune_gc;
+      ignore (Exec.force (settings ()) n);
+      s
+
+let run_reference : t -> Ndarray.t = fun s -> Reference.run s
+
+let fold_reference ~op ~neutral gen body =
+  Reference.fold ~op:(Exec.apply_op op) ~neutral gen body
 
 let shape = Ir.source_shape
 let rank s = Shape.rank (shape s)

@@ -22,6 +22,23 @@ val force : t -> Ndarray.t
     treated as immutable (it may be shared with the cache and with
     other consumers). *)
 
+val materialize : t -> t
+(** Force without escaping: the value is computed and cached (cutting
+    the consumer's graph depth like [of_ndarray (force v)]) but stays
+    eligible for the executor's reference-count-driven buffer reuse —
+    once its last registered consumer runs, the buffer may be
+    overwritten in place or recycled.  Use only for intermediates whose
+    handle is consumed exactly by the graphs already (or about to be)
+    built from it; call {!force} to keep the value. *)
+
+val run_reference : t -> Ndarray.t
+(** The O0 reference interpreter ({!Reference}): per-element
+    tree-walking evaluation with no fusion, clustering, kernels, cfun
+    staging, buffer reuse or parallel split, and no effect on the
+    graph (caches and reference counts are untouched).  The
+    differential oracle suite holds every engine configuration to this
+    bitwise. *)
+
 val shape : t -> Shape.t
 val rank : t -> int
 val dim : t -> int  (** SAC's [dim(array)]. *)
@@ -63,6 +80,10 @@ val fold : op:Exec.fold_op -> neutral:float -> Generator.t -> Expr.e -> float
     operator must be associative and commutative, as in SAC — the
     engine may regroup partitions. *)
 
+val fold_reference : op:Exec.fold_op -> neutral:float -> Generator.t -> Expr.e -> float
+(** Reference evaluation of {!fold} (row-major per-element tree walk,
+    see {!run_reference}). *)
+
 (** {1 Compiler configuration} *)
 
 type opt_level =
@@ -88,6 +109,8 @@ val set_split_threshold : int -> unit
     (default 2048); smaller consumers materialise their producers.
     Tests of the splitting machinery set this to 0. *)
 
+val get_split_threshold : unit -> int
+
 val set_line_buffers : bool -> unit
 (** Enable the line-buffered box-stencil kernel (default [true]):
     recognised stencils with edge/corner classes compute per-row plane
@@ -106,6 +129,17 @@ val set_cfun : bool -> unit
 
 val get_cfun : unit -> bool
 val with_cfun : bool -> (unit -> 'a) -> 'a
+
+val set_reuse : bool -> unit
+(** Enable buffer-reuse analysis (default [true], effective at O2+):
+    a fully covered sweep whose operand's reference count shows it dies
+    at this node, and whose reads of that operand are all identity,
+    writes its result through the dead operand's buffer instead of
+    allocating — SAC's update-in-place.  [mempool.reuse_hits] counts
+    the aliasing events; results are bitwise identical either way. *)
+
+val get_reuse : unit -> bool
+val with_reuse : bool -> (unit -> 'a) -> 'a
 
 val set_kernel_timing : bool -> unit
 (** Record per-kernel ns/elt log₂ histograms ([kernel.ns_elt.*] in

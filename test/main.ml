@@ -1,10 +1,18 @@
 (* MG_PROCS=n runs the whole suite with an n-domain worker pool, so CI
-   can exercise the parallel executor paths with the same tests. *)
+   can exercise the parallel executor paths with the same tests.
+   MG_REUSE=0 turns the executor's buffer-reuse (in-place update) pass
+   off globally; the CI matrix runs both legs, asserting the results
+   are independent of the aliasing decisions. *)
 let () =
   (match Option.bind (Sys.getenv_opt "MG_PROCS") int_of_string_opt with
   | Some n when n >= 1 ->
       Printf.printf "MG_PROCS=%d: running suite with %d-domain pool\n%!" n n;
       Mg_withloop.Wl.set_threads n
+  | _ -> ());
+  (match Sys.getenv_opt "MG_REUSE" with
+  | Some "0" ->
+      Printf.printf "MG_REUSE=0: buffer-reuse pass disabled\n%!";
+      Mg_withloop.Wl.set_reuse false
   | _ -> ());
   Alcotest.run "sac_mg"
     [ Test_shape.suite;
@@ -15,6 +23,7 @@ let () =
       Test_withloop.suite;
       Test_fusion.suite;
       Test_exec_oracle.suite;
+      Test_reference_oracle.suite;
       Test_plan_cache.suite;
       Test_arraylib.suite;
       Test_border.suite;

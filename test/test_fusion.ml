@@ -8,9 +8,6 @@ open Mg_arraylib
 module E = Wl.Expr
 module Trace = Mg_smp.Trace
 
-(* The suite's grids are tiny; disable the size heuristic so the
-   splitting machinery itself is exercised. *)
-let () = Wl.set_split_threshold 0
 
 let nd_exact = Alcotest.testable Ndarray.pp (Ndarray.equal ~eps:0.0)
 
@@ -35,7 +32,17 @@ let relax coeffs a =
 
 let star = [ (0, 0, 0.5); (-1, 0, 0.125); (1, 0, 0.125); (0, -1, 0.125); (0, 1, 0.125) ]
 
-let at_level l f = Wl.with_opt_level l f
+(* The suite's grids are tiny; disable the size heuristic so the
+   splitting machinery itself is exercised.  Scoped per run rather than
+   set at module load: a toplevel assignment would leak into every
+   other suite linked into the same binary and perturb their
+   clustering, breaking the bitwise golden-vector tests. *)
+let at_level l f =
+  let saved = Wl.get_split_threshold () in
+  Wl.set_split_threshold 0;
+  Fun.protect
+    ~finally:(fun () -> Wl.set_split_threshold saved)
+    (fun () -> Wl.with_opt_level l f)
 
 let run_pipeline () =
   (* condense . relax — the Fine2Coarse shape. *)

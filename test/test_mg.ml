@@ -87,6 +87,53 @@ let run_cross_impl_norm cls =
 let test_cross_impl_tiny () = run_cross_impl_norm Classes.tiny
 let test_cross_impl_mini () = run_cross_impl_norm Classes.mini
 
+(* Per-level resid differential matrix: the resid stencil of all three
+   implementations on identical random fields at every grid level of
+   class S (interior extents 32, 16, 8, 4, 2).  When a V-cycle
+   regression appears, this pinpoints the first level that introduced
+   it instead of merely failing the end-to-end norm; the failure
+   message prints the whole matrix. *)
+let test_resid_level_matrix_class_s () =
+  let cls = Classes.class_s in
+  let eps = 1e-12 in
+  let extents = List.init (Classes.levels cls) (fun k -> cls.Classes.nx lsr k) in
+  let a = Stencil.to_array Stencil.a in
+  let diff_interior x y =
+    let shp = Ndarray.shape x in
+    let worst = ref 0.0 in
+    Mg_withloop.Generator.iter (Mg_withloop.Generator.interior shp 1) (fun iv ->
+        let d = Float.abs (Ndarray.get x iv -. Ndarray.get y iv) in
+        if d > !worst then worst := d);
+    !worst
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let u = random_grid n and v = random_grid n in
+        let r_f77 = Ndarray.create [| n + 2; n + 2; n + 2 |] in
+        let r_c = Ndarray.create [| n + 2; n + 2; n + 2 |] in
+        Mg_f77.resid ~u ~v ~r:r_f77 ~a;
+        Mg_c.resid ~u ~v ~r:r_c ~a;
+        let r_sac =
+          Mg_withloop.Wl.force
+            (Mg_arraylib.Ops.sub
+               (Mg_withloop.Wl.of_ndarray v)
+               (Mg_sac.resid Stencil.a (Mg_withloop.Wl.of_ndarray u)))
+        in
+        (n, diff_interior r_f77 r_c, diff_interior r_f77 r_sac, diff_interior r_c r_sac))
+      extents
+  in
+  match List.filter (fun (_, fc, fs, cs) -> fc > eps || fs > eps || cs > eps) rows with
+  | [] -> ()
+  | (n, _, _, _) :: _ ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "level  f77-c      f77-sac    c-sac\n";
+      List.iter
+        (fun (n, fc, fs, cs) ->
+          Buffer.add_string buf (Printf.sprintf "%5d  %.3e  %.3e  %.3e\n" n fc fs cs))
+        rows;
+      Alcotest.failf "resid diverges first at level n=%d:\n%s" n (Buffer.contents buf)
+
 let test_sac_solution_matches_f77 () =
   (* Compare the full solution fields after one iteration on a tiny
      grid, not just the norm. *)
@@ -185,6 +232,7 @@ let suite =
       Alcotest.test_case "interp f77 = c" `Quick test_interp_f77_vs_c;
       Alcotest.test_case "cross-impl norms (tiny)" `Quick test_cross_impl_tiny;
       Alcotest.test_case "cross-impl norms (mini)" `Quick test_cross_impl_mini;
+      Alcotest.test_case "resid level matrix, class S" `Quick test_resid_level_matrix_class_s;
       Alcotest.test_case "sac solution = f77 solution" `Quick test_sac_solution_matches_f77;
       Alcotest.test_case "sac opt levels agree" `Quick test_sac_all_opt_levels_agree;
       Alcotest.test_case "sac parallel agrees" `Quick test_sac_parallel_agrees;

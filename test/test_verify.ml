@@ -77,6 +77,101 @@ let test_custom_class_validation () =
   let c = Classes.make_custom ~name:"x" ~nx:16 ~nit:2 in
   Alcotest.(check int) "levels" 4 (Classes.levels c)
 
+(* ------------------------------------------------------------------ *)
+(* Golden per-iteration residual norms.                                *)
+(*                                                                     *)
+(* Frozen as IEEE-754 bit patterns: each implementation must reproduce *)
+(* its residual-norm history bitwise, iteration by iteration.  The     *)
+(* vectors were captured from a run with the buffer-reuse pass at its  *)
+(* default (on at O2+); because the suite also runs under MG_REUSE=0   *)
+(* in CI, a pass here certifies that aliasing decisions never change a *)
+(* single bit of the V-cycle.  The final class-S entry corresponds to  *)
+(* the NAS reference value 0.5307707005734e-04; the final class-W      *)
+(* entries sit at the 0.2503914064395e-17 rounding floor.              *)
+(* ------------------------------------------------------------------ *)
+
+let f77_s =
+  [| 0x3f68089dc95bdfd9L; 0x3f44b1684ee92a67L; 0x3f26c1563e3a335dL;
+     0x3f0bd3e23d9218cfL |]
+
+let c_s =
+  [| 0x3f68089dc95bdfdaL; 0x3f44b1684ee92a69L; 0x3f26c1563e3a3365L;
+     0x3f0bd3e23d9218e2L |]
+
+let sac_s =
+  [| 0x3f68089dc95bdfd8L; 0x3f44b1684ee92a6dL; 0x3f26c1563e3a3361L;
+     0x3f0bd3e23d921908L |]
+
+let f77_w =
+  [| 0x3f50ca760db3dabaL; 0x3f2ca1991ac557f7L; 0x3f0f67a15a2f5495L;
+     0x3ef33323656e5923L; 0x3ed8b633a037f57aL; 0x3ec05d61f8dc861aL;
+     0x3ea615eafb60b8a5L; 0x3e8e3736f00df723L; 0x3e74e337c01a4444L;
+     0x3e5d1f4f953ef081L; 0x3e447159c5601038L; 0x3e2cde2240d33e1cL;
+     0x3e147bf46970d3dcL; 0x3dfd3261cbdcdbbeL; 0x3de4e30e8ffaeb4dL;
+     0x3dcdfc55e2156267L; 0x3db596e78104714bL; 0x3d9f2c8f6b69d5c1L;
+     0x3d8690351f9212dbL; 0x3d705e5a64ff50f0L; 0x3d57ccb451c35f09L;
+     0x3d4156149bd63e72L; 0x3d294d84457619f1L; 0x3d127f3332cccbc2L;
+     0x3cfb165171e2dddaL; 0x3ce3dd09b1d17adeL; 0x3ccd2d0cfbd92515L;
+     0x3cb574e86e498fccL; 0x3c9f9b8b1a1f490dL; 0x3c8758eee996156eL;
+     0x3c7188cf4300a007L; 0x3c5cf019aae5faa4L; 0x3c50979e0eae61c2L;
+     0x3c499af843889dc8L; 0x3c47c23faeec498aL; 0x3c47cc141a697384L;
+     0x3c4776fcb5c412fdL; 0x3c4750dcf3ae88cbL; 0x3c470d3d612c42f3L;
+     0x3c4718332e67c92eL |]
+
+let c_w =
+  [| 0x3f50ca760db3dabaL; 0x3f2ca1991ac557f9L; 0x3f0f67a15a2f5499L;
+     0x3ef33323656e5925L; 0x3ed8b633a037f5a6L; 0x3ec05d61f8dc8629L;
+     0x3ea615eafb60b529L; 0x3e8e3736f00dff72L; 0x3e74e337c01a33b9L;
+     0x3e5d1f4f953f623dL; 0x3e447159c55fc73dL; 0x3e2cde2240d351feL;
+     0x3e147bf4696f5b8dL; 0x3dfd3261cbe3413dL; 0x3de4e30e900b90f3L;
+     0x3dcdfc55e1b13655L; 0x3db596e7820d092dL; 0x3d9f2c8f6b9734adL;
+     0x3d8690352019aa0bL; 0x3d705e5a61098684L; 0x3d57ccb480690511L;
+     0x3d4156146c130f6eL; 0x3d294d82f67d4314L; 0x3d127f371cda6b5dL;
+     0x3cfb164d002da380L; 0x3ce3dd12fdf5fa73L; 0x3ccd2d0fc9c330e1L;
+     0x3cb574ff065c7522L; 0x3c9f9eaa218fac62L; 0x3c875f5f5406bfc7L;
+     0x3c719fba7a53e291L; 0x3c5dd422df5a29dbL; 0x3c516fa90279f31fL;
+     0x3c4c238a37096e64L; 0x3c4ab04264dd4517L; 0x3c492049f70ff6e8L;
+     0x3c4aacbae3c41a31L; 0x3c4a09a4e3d0f674L; 0x3c49bcde9585a4cbL;
+     0x3c49ff88b7a92bf7L |]
+
+let sac_w =
+  [| 0x3f50ca760db3dabcL; 0x3f2ca1991ac557f6L; 0x3f0f67a15a2f54a1L;
+     0x3ef33323656e58f0L; 0x3ed8b633a037f553L; 0x3ec05d61f8dc8688L;
+     0x3ea615eafb60b2b8L; 0x3e8e3736f00dfe25L; 0x3e74e337c01a4070L;
+     0x3e5d1f4f953f73f4L; 0x3e447159c55f7447L; 0x3e2cde2240d433c8L;
+     0x3e147bf4696caf05L; 0x3dfd3261cbed507fL; 0x3de4e30e9006986cL;
+     0x3dcdfc55e1c1a6bfL; 0x3db596e7824cd09fL; 0x3d9f2c8f689e873dL;
+     0x3d86903524725699L; 0x3d705e5a612a4b6aL; 0x3d57ccb45480ac8fL;
+     0x3d4156153c92774fL; 0x3d294d81757ad845L; 0x3d127f33995c3455L;
+     0x3cfb1650571a2bddL; 0x3ce3dd1688f438feL; 0x3ccd2cc939613167L;
+     0x3cb573f50d536f4bL; 0x3c9f9b1cb5f3ce38L; 0x3c875ba4573630e2L;
+     0x3c71909632600fa3L; 0x3c5d4da89467e6e0L; 0x3c51438db9c40520L;
+     0x3c4e6773e849b445L; 0x3c4c5064c152015eL; 0x3c4bdb3a5f75e8b1L;
+     0x3c4bb3a207e9b329L; 0x3c4c522957944562L; 0x3c4bf74c3486ab83L;
+     0x3c4a29b80c393cbeL |]
+
+let check_golden name golden norms =
+  Alcotest.(check int) (name ^ ": iteration count") (Array.length golden)
+    (Array.length norms);
+  Array.iteri
+    (fun i bits ->
+      let got = Int64.bits_of_float norms.(i) in
+      if not (Int64.equal bits got) then
+        Alcotest.failf "%s: iteration %d diverged: expected %h (0x%LxL), got %h (0x%LxL)"
+          name (i + 1)
+          (Int64.float_of_bits bits) bits norms.(i) got)
+    golden
+
+let test_golden_s () =
+  check_golden "f77/S" f77_s (Mg_f77.residual_norms Classes.class_s);
+  check_golden "c/S" c_s (Mg_c.residual_norms Classes.class_s);
+  check_golden "sac/S" sac_s (Mg_sac.residual_norms Classes.class_s)
+
+let test_golden_w () =
+  check_golden "f77/W" f77_w (Mg_f77.residual_norms Classes.class_w);
+  check_golden "c/W" c_w (Mg_c.residual_norms Classes.class_w);
+  check_golden "sac/W" sac_w (Mg_sac.residual_norms Classes.class_w)
+
 let suite =
   ( "verify",
     [ Alcotest.test_case "norm2u3" `Quick test_norm2u3;
@@ -86,4 +181,6 @@ let suite =
       Alcotest.test_case "status_ok" `Quick test_status_ok;
       Alcotest.test_case "classes table" `Quick test_classes_table;
       Alcotest.test_case "custom class validation" `Quick test_custom_class_validation;
+      Alcotest.test_case "golden residual norms (class S)" `Quick test_golden_s;
+      Alcotest.test_case "golden residual norms (class W)" `Slow test_golden_w;
     ] )
