@@ -169,6 +169,8 @@ let () =
         ("env", Json.String (Env.description ()));
         ("sched_policy", Json.String (Mg_smp.Sched_policy.to_string (Wl.get_sched_policy ())));
         ("backend", Json.String (Mg_withloop.Backend.name (Wl.get_backend ())));
+        ("reuse", Json.String (if Wl.get_reuse () then "on" else "off"));
+        ("pooling", Json.String (if Wl.get_pooling () then "on" else "off"));
         ("kernels",
          Json.Obj
            (List.map

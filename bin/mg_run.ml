@@ -42,7 +42,7 @@ let print_trace (events : Trace.event list) =
   let rows = List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows in
   List.iter (fun (tag, t, c) -> Format.printf "  %-20s %6d calls  %9.4f s@." tag c t) rows
 
-let run impl cls opt threads sched tile backend kernels reuse profile custom_nx custom_nit =
+let run impl cls opt threads sched tile backend kernels reuse pooling profile custom_nx custom_nit =
   let cls =
     match (custom_nx, custom_nit) with
     | Some nx, nit ->
@@ -58,6 +58,7 @@ let run impl cls opt threads sched tile backend kernels reuse profile custom_nx 
   in
   Option.iter Mg_withloop.Wl.set_cfun kernels;
   Option.iter Mg_withloop.Wl.set_reuse reuse;
+  Option.iter Mg_withloop.Wl.set_pooling pooling;
   let modes = Option.value profile ~default:[] in
   let trace = List.mem Ptrace modes in
   let observe = List.exists (function Preport | Pchrome _ -> true | Ptrace -> false) modes in
@@ -188,6 +189,16 @@ let reuse_arg =
                  of it is an identity read.  $(b,on) at O2+ by default; $(b,off) \
                  allocates every result from the memory pool.")
 
+let pooling_arg =
+  Arg.(value
+       & opt (some (enum [ ("on", true); ("off", false) ])) None
+       & info [ "pooling" ] ~docv:"on|off"
+           ~doc:"Per-domain arena pooling of intermediate buffers: recycle dead with-loop \
+                 results through domain-local typed arenas instead of allocating fresh \
+                 Bigarrays.  $(b,on) by default (also via $(b,MG_POOLING)); $(b,off) \
+                 degrades every allocation to a fresh uninitialised buffer.  Results are \
+                 bitwise identical either way.")
+
 let profile_conv =
   let parse s =
     match parse_profile s with
@@ -227,6 +238,6 @@ let cmd =
   Cmd.v
     (Cmd.info "mg_run" ~doc)
     Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ sched_arg $ tile_arg
-          $ backend_arg $ kernels_arg $ reuse_arg $ profile_arg $ nx_arg $ nit_arg)
+          $ backend_arg $ kernels_arg $ reuse_arg $ pooling_arg $ profile_arg $ nx_arg $ nit_arg)
 
 let () = exit (Cmd.eval' cmd)

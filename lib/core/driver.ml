@@ -22,16 +22,18 @@ type result = {
   events : Trace.event list;
 }
 
-let run ?opt ?(threads = 1) ?sched ?backend ?reuse ?(trace = false) ~impl ~cls () =
+let run ?opt ?(threads = 1) ?sched ?backend ?reuse ?pooling ?(trace = false) ~impl ~cls () =
   let saved_opt = Wl.get_opt_level () in
   let saved_threads = Wl.get_threads () in
   let saved_sched = Wl.get_sched_policy () in
   let saved_backend = Wl.get_backend () in
   let saved_reuse = Wl.get_reuse () in
+  let saved_pooling = Wl.get_pooling () in
   (match opt with Some l -> Wl.set_opt_level l | None -> ());
   (match sched with Some p -> Wl.set_sched_policy p | None -> ());
   (match backend with Some b -> Wl.set_backend b | None -> ());
   (match reuse with Some r -> Wl.set_reuse r | None -> ());
+  (match pooling with Some p -> Wl.set_pooling p | None -> ());
   Wl.set_threads threads;
   let body () =
     Mg_obs.Span.with_
@@ -52,6 +54,7 @@ let run ?opt ?(threads = 1) ?sched ?backend ?reuse ?(trace = false) ~impl ~cls (
   Wl.set_sched_policy saved_sched;
   Wl.set_backend saved_backend;
   Wl.set_reuse saved_reuse;
+  Wl.set_pooling saved_pooling;
   (* Only the Fortran port preserves the reference code's exact
      floating-point evaluation order; the C port regroups neighbour
      sums and the with-loop optimiser reassociates freely. *)

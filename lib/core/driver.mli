@@ -26,14 +26,16 @@ val run :
   ?sched:Sched_policy.t ->
   ?backend:Backend.t ->
   ?reuse:bool ->
+  ?pooling:bool ->
   ?trace:bool ->
   impl:impl ->
   cls:Classes.t ->
   unit ->
   result
 (** Defaults: current global opt level, 1 thread, current scheduling
-    policy, backend and buffer-reuse setting, no trace.  The global
-    with-loop configuration is restored afterwards. *)
+    policy, backend, buffer-reuse and arena-pooling settings, no
+    trace.  The global with-loop configuration is restored
+    afterwards. *)
 
 val traced_run : impl:impl -> cls:Classes.t -> result
 (** [run ~trace:true] at sequential settings — the input for

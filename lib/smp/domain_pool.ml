@@ -48,7 +48,19 @@ let finish_participation t job =
   if job.running = 0 then Condition.broadcast t.cv_done;
   Mutex.unlock t.m
 
+(* Domain lifecycle hooks: libraries with domain-local state (the
+   with-loop arena allocator) register these once at load time so
+   every worker sets its state up at spawn — not lazily mid-kernel —
+   and tears it down before the domain exits. *)
+let hook_start : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+let hook_exit : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+
+let set_domain_hooks ~on_start ~on_exit =
+  Atomic.set hook_start on_start;
+  Atomic.set hook_exit on_exit
+
 let worker t () =
+  (Atomic.get hook_start) ();
   let last_gen = ref 0 in
   let continue = ref true in
   while !continue do
@@ -70,7 +82,8 @@ let worker t () =
           run_chunks t job;
           finish_participation t job
     end
-  done
+  done;
+  (Atomic.get hook_exit) ()
 
 let create n =
   if n < 1 then invalid_arg "Domain_pool.create: size must be >= 1";

@@ -41,3 +41,12 @@ val get_global : unit -> t
 
 val set_global_size : int -> unit
 (** Resize the global pool (shuts down the previous one). *)
+
+val set_domain_hooks : on_start:(unit -> unit) -> on_exit:(unit -> unit) -> unit
+(** Register per-worker lifecycle callbacks: [on_start] runs on each
+    worker domain right after spawn, [on_exit] right before it
+    terminates.  Intended for libraries with domain-local state (the
+    with-loop arena allocator registers its arena setup/retirement
+    here at load time, before any pool is created).  One registration
+    slot; a later call replaces the earlier one.  The hooks only apply
+    to domains spawned after registration. *)

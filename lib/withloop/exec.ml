@@ -47,26 +47,40 @@ let exec_parts st (out : Ndarray.t) (parts : Plan.compiled list) =
 (* Reference counting: consume one edge from [n] to each of its
    sources; recycle producer caches whose last consumer this was.      *)
 
-let release_sources (n : Ir.node) =
-  let consume src =
-    Ir.decr_refs src;
-    match src with
-    | Ir.Node p when p.Ir.refs <= 0 && not p.Ir.escaped -> (
-        match p.Ir.cache with
-        | Some arr ->
-            Ir.clear_cache p;
-            Mempool.recycle arr
-        | None -> ())
-    | Ir.Node _ | Ir.Arr _ -> ()
-  in
-  let parts =
-    match n.Ir.spec with
-    | Ir.Genarray { parts; _ } -> parts
-    | Ir.Modarray { base; parts } ->
-        consume base;
-        parts
-  in
-  List.iter (fun (p : Ir.part) -> List.iter consume (Ir.expr_sources p.Ir.body)) parts
+let rec release_sources (n : Ir.node) =
+  if not n.Ir.released then begin
+    (* One-shot: a recompute of [n] (its cache was recycled and a stale
+       consumer re-forced it) must not consume its source edges a
+       second time — undercounted refs make the in-place liveness
+       checks treat live operands as dead. *)
+    Ir.mark_released n;
+    let consume src =
+      Ir.decr_refs src;
+      match src with
+      | Ir.Node p when p.Ir.refs <= 0 && not p.Ir.escaped -> (
+          match p.Ir.cache with
+          | Some arr ->
+              Ir.clear_cache p;
+              Mempool.recycle arr
+          | None ->
+              (* Dead without ever executing: fusion substituted every
+                 read of [p] into its consumers, so no execution will
+                 ever consume [p]'s own source edges.  Release them now
+                 or the producers [p] reads (fusion-materialised arrays
+                 in particular) stay pinned — and pooled buffers leak —
+                 for the life of the graph. *)
+              release_sources p)
+      | Ir.Node _ | Ir.Arr _ -> ()
+    in
+    let parts =
+      match n.Ir.spec with
+      | Ir.Genarray { parts; _ } -> parts
+      | Ir.Modarray { base; parts } ->
+          consume base;
+          parts
+    in
+    List.iter (fun (p : Ir.part) -> List.iter consume (Ir.expr_sources p.Ir.body)) parts
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Buffer reuse: a dying operand whose buffer the output may alias.

@@ -21,6 +21,7 @@ and node = {
   barrier : bool;
   mutable refs : int;
   mutable escaped : bool;
+  mutable released : bool;
   mutable cache : Ndarray.t option;
 }
 
@@ -85,6 +86,7 @@ let decr_refs = function Arr _ -> () | Node n -> n.refs <- n.refs - 1
 let set_cache n a = n.cache <- Some a
 let clear_cache n = n.cache <- None
 let mark_escaped n = n.escaped <- true
+let mark_released n = n.released <- true
 
 let validate_part shp { gen; body = _ } =
   if Generator.rank gen <> Shape.rank shp then
@@ -109,6 +111,7 @@ let genarray ?(barrier = false) ?(default = 0.0) shp parts =
     barrier;
     refs = 0;
     escaped = false;
+    released = false;
     cache = None;
   }
 
@@ -123,6 +126,7 @@ let modarray ?(barrier = false) base parts =
     barrier;
     refs = 0;
     escaped = false;
+    released = false;
     cache = None;
   }
 

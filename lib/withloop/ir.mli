@@ -44,6 +44,13 @@ and node = private {
   mutable escaped : bool;
       (** The cached value was handed to user code via [Wl.force]; it
           must never be recycled. *)
+  mutable released : bool;
+      (** This node's edges to its sources have been consumed (its
+          execution completed, or it died fused-away without ever
+          executing).  Guards the release against running twice — a
+          recompute of the node must not decrement its sources again,
+          or the counts undercount live consumers and the in-place
+          (steal/reuse) liveness checks fire on live buffers. *)
   mutable cache : Ndarray.t option;
 }
 
@@ -97,6 +104,7 @@ val decr_refs : source -> unit
 (** Record that one consumer edge has been satisfied. *)
 
 val mark_escaped : node -> unit
+val mark_released : node -> unit
 
 val validate_part : Shape.t -> part -> unit
 (** @raise Invalid_argument if the generator escapes the shape. *)

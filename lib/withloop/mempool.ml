@@ -1,78 +1,439 @@
 open Mg_ndarray
 
-(* One process-wide pool guarded by a mutex: executor replays may run
-   concurrently on several domains, and even the sequential engine
-   recycles from inside parallel regions via release hooks.  The
-   critical sections only push/pop list cells; Bigarray allocation
-   happens outside the lock. *)
+(* Per-domain typed arenas.  Each domain keeps, in domain-local
+   storage, a small set-associative cache of size-class slots: [nsets]
+   sets of [nways] ways, each way serving exactly one element count
+   with a fixed-depth stack of free buffers.  alloc/recycle touch only
+   the calling domain's arena — a hash, a <= nways scan and an array
+   push/pop — so the fast path takes no lock and generates no Hashtbl
+   traffic.  The process-wide mutex below guards only the arena
+   registry (creation, aggregate stats, clear, the debug cross-arena
+   scan); every section that takes it is wrapped in a "mempool:lock"
+   span precisely so profile traces can prove the hot path never
+   appears under it.
 
-let m = Mutex.create ()
-let pool : (int, Ndarray.buffer list ref) Hashtbl.t = Hashtbl.create 16
-let max_per_size = 8
-let recycled = ref 0
-let reused = ref 0
+   Scopes: [mark] records the pending-trail length; while a scope is
+   open, refcount-driven [recycle] pushes the dead buffer on the trail
+   instead of searching a slot — O(1), and the buffer is provably dead
+   (the executor clears a node's cache in the same step that recycles
+   it).  [reset] flushes the whole segment into the free slots at
+   once.  Deferring availability to the scope boundary is the point:
+   within an iteration a dead buffer is never handed back out, so the
+   executor's recompute paths (which re-read stale caches of buffers
+   whose reference counts never hit zero) always observe intact data —
+   exactly the liveness contract of the old global pool, with the slot
+   insertion batched.  Escaped results ([Wl.force]) are never recycled
+   in the first place (the release hook skips escaped nodes), so they
+   survive any reset by construction; [escape]/[keep] are debug
+   tripwires for that invariant rather than bookkeeping.
+
+   [clear] must not reach into arenas owned by other domains (their
+   owner may be mid-allocation), so it bumps a global epoch instead:
+   each arena lazily flushes itself — drops free stacks, zeroes its
+   counters — when it next observes a stale epoch.  Aggregation skips
+   stale arenas, so stats read as zeroed immediately. *)
+
+let empty_buf : Ndarray.buffer = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 0
+let fresh_buffer len = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+let nsets = 16
+let nways = 4
+let max_per_class = 32
+
+type slot = {
+  mutable klen : int;  (* element count this way serves; -1 = unclaimed *)
+  mutable stamp : int;  (* arena tick at last touch (LRU within the set) *)
+  mutable bufs : Ndarray.buffer array;  (* stack of free buffers, 0..nfree-1 *)
+  mutable nfree : int;
+}
+
+type arena = {
+  epoch : int Atomic.t;
+  slots : slot array;  (* nsets * nways, set-major *)
+  mutable tick : int;
+  (* scope state: trail of in-scope recycles (dead, pending their
+     return to the slots) + mark stack *)
+  mutable trail : Ndarray.buffer array;
+  mutable trail_len : int;
+  mutable marks : int array;
+  mutable nmarks : int;
+  (* counters: written by the owning domain only, read by any domain *)
+  st_reused : int Atomic.t;
+  st_recycled : int Atomic.t;
+  st_alloc_bytes : int Atomic.t;
+  st_live : int Atomic.t;
+  st_live_hw : int Atomic.t;
+}
+
+let registry : arena list ref = ref []
+let registry_m = Mutex.create ()
+let global_epoch = Atomic.make 0
+
+(* Counters of arenas whose owning domain has exited (folded in by the
+   domain-pool exit hook so aggregate stats stay monotone). *)
+let retired_reused = ref 0
+let retired_recycled = ref 0
+let retired_alloc_bytes = ref 0
+
+let pooling =
+  Atomic.make
+    (match Sys.getenv_opt "MG_POOLING" with
+    | Some ("0" | "off" | "false") -> false
+    | _ -> true)
+
+let set_pooling b = Atomic.set pooling b
+let get_pooling () = Atomic.get pooling
 let debug = Atomic.make false
 let set_debug b = Atomic.set debug b
 let get_debug () = Atomic.get debug
 let c_reuse_hits = Mg_obs.Metrics.counter "mempool.reuse_hits"
+let c_pool_hits = Mg_obs.Metrics.counter "mempool.pool_hits"
 let c_alloc_bytes = Mg_obs.Metrics.counter "mempool.alloc_bytes"
+let g_bytes_live = Mg_obs.Metrics.gauge "mempool.bytes_live"
 let note_reuse () = Mg_obs.Metrics.incr c_reuse_hits
 
 let locked f =
-  Mutex.lock m;
+  let span = Mg_obs.Span.start () in
+  Mutex.lock registry_m;
+  let fin () =
+    Mutex.unlock registry_m;
+    if Mg_obs.Span.active span then Mg_obs.Span.stop ~name:"mempool:lock" span
+  in
   match f () with
   | v ->
-      Mutex.unlock m;
+      fin ();
       v
   | exception e ->
-      Mutex.unlock m;
+      fin ();
       raise e
+
+let new_arena () =
+  let a =
+    { epoch = Atomic.make (Atomic.get global_epoch);
+      slots = Array.init (nsets * nways) (fun _ -> { klen = -1; stamp = 0; bufs = [||]; nfree = 0 });
+      tick = 0;
+      trail = [||];
+      trail_len = 0;
+      marks = [||];
+      nmarks = 0;
+      st_reused = Atomic.make 0;
+      st_recycled = Atomic.make 0;
+      st_alloc_bytes = Atomic.make 0;
+      st_live = Atomic.make 0;
+      st_live_hw = Atomic.make 0;
+    }
+  in
+  locked (fun () -> registry := a :: !registry);
+  a
+
+let key = Domain.DLS.new_key new_arena
+
+let flush_slots a =
+  Array.iter
+    (fun s ->
+      for i = 0 to s.nfree - 1 do
+        s.bufs.(i) <- empty_buf
+      done;
+      s.nfree <- 0;
+      s.klen <- -1;
+      s.stamp <- 0)
+    a.slots
+
+(* Lazy reaction to [clear]: drop free stacks and zero counters the
+   next time the owner touches the pool.  Scope state is preserved —
+   outstanding trail entries still belong to live callers. *)
+let sync_epoch a =
+  let e = Atomic.get global_epoch in
+  if Atomic.get a.epoch <> e then begin
+    flush_slots a;
+    Atomic.set a.st_reused 0;
+    Atomic.set a.st_recycled 0;
+    Atomic.set a.st_alloc_bytes 0;
+    Atomic.set a.st_live 0;
+    Atomic.set a.st_live_hw 0;
+    Atomic.set a.epoch e
+  end
+
+let arena () =
+  let a = Domain.DLS.get key in
+  sync_epoch a;
+  a
+
+let live_add a d =
+  let v = Atomic.get a.st_live + d in
+  Atomic.set a.st_live v;
+  let hw = Atomic.get a.st_live_hw in
+  if v > hw then begin
+    Atomic.set a.st_live_hw v;
+    Mg_obs.Metrics.add_gauge g_bytes_live (float_of_int (v - hw))
+  end
+
+let live_sub a d =
+  let v = Atomic.get a.st_live - d in
+  Atomic.set a.st_live (if v < 0 then 0 else v)
+
+(* Spread the entropy of typical element counts (products of grid
+   extents) into the set index. *)
+let set_of len = ((len * 0x9E3779B1) lsr 24) land (nsets - 1)
+
+let take a len =
+  let base = set_of len * nways in
+  let rec go i =
+    if i = nways then None
+    else
+      let s = Array.unsafe_get a.slots (base + i) in
+      if s.klen = len && s.nfree > 0 then begin
+        let n = s.nfree - 1 in
+        s.nfree <- n;
+        let b = Array.unsafe_get s.bufs n in
+        Array.unsafe_set s.bufs n empty_buf;
+        a.tick <- a.tick + 1;
+        s.stamp <- a.tick;
+        Some b
+      end
+      else go (i + 1)
+  in
+  go 0
+
+(* The way serving [len], claiming an unclaimed way or evicting the
+   least-recently-touched one (its free buffers fall to the GC). *)
+let slot_for a len =
+  let base = set_of len * nways in
+  let rec find i =
+    if i = nways then None
+    else
+      let s = a.slots.(base + i) in
+      if s.klen = len then Some s else find (i + 1)
+  in
+  match find 0 with
+  | Some s -> s
+  | None ->
+      let victim = ref a.slots.(base) in
+      (try
+         for i = 0 to nways - 1 do
+           let s = a.slots.(base + i) in
+           if s.klen = -1 then begin
+             victim := s;
+             raise Exit
+           end;
+           if s.stamp < !victim.stamp then victim := s
+         done
+       with Exit -> ());
+      let s = !victim in
+      for i = 0 to s.nfree - 1 do
+        s.bufs.(i) <- empty_buf
+      done;
+      s.nfree <- 0;
+      s.klen <- len;
+      s
+
+let put a b =
+  let len = Bigarray.Array1.dim b in
+  let s = slot_for a len in
+  a.tick <- a.tick + 1;
+  s.stamp <- a.tick;
+  if s.nfree >= max_per_class then false
+  else begin
+    if s.nfree = Array.length s.bufs then begin
+      let cap = min max_per_class (max 4 (2 * Array.length s.bufs)) in
+      let nb = Array.make cap empty_buf in
+      Array.blit s.bufs 0 nb 0 s.nfree;
+      s.bufs <- nb
+    end;
+    s.bufs.(s.nfree) <- b;
+    s.nfree <- s.nfree + 1;
+    true
+  end
+
+let in_free_slot a b =
+  let len = Bigarray.Array1.dim b in
+  let base = set_of len * nways in
+  let rec go i =
+    i < nways
+    && (let s = a.slots.(base + i) in
+        (s.klen = len
+        &&
+        let rec scan j = j < s.nfree && (s.bufs.(j) == b || scan (j + 1)) in
+        scan 0)
+        || go (i + 1))
+  in
+  go 0
+
+let trail_push a b =
+  if a.trail_len = Array.length a.trail then begin
+    let nt = Array.make (max 64 (2 * Array.length a.trail)) empty_buf in
+    Array.blit a.trail 0 nt 0 a.trail_len;
+    a.trail <- nt
+  end;
+  a.trail.(a.trail_len) <- b;
+  a.trail_len <- a.trail_len + 1
 
 let alloc shape =
   let len = Shape.num_elements shape in
-  let hit =
-    locked (fun () ->
-        match Hashtbl.find_opt pool len with
-        | Some ({ contents = b :: rest } as cell) ->
-            cell := rest;
-            incr reused;
-            Some b
-        | _ -> None)
-  in
-  match hit with
-  | Some b -> Ndarray.of_buffer shape b
-  | None ->
-      Mg_obs.Metrics.add c_alloc_bytes (8 * len);
-      Ndarray.create_uninit shape
+  if len = 0 || not (Atomic.get pooling) then begin
+    Mg_obs.Metrics.add c_alloc_bytes (8 * len);
+    Ndarray.create_uninit shape
+  end
+  else begin
+    let a = arena () in
+    let b =
+      match take a len with
+      | Some b ->
+          Atomic.set a.st_reused (Atomic.get a.st_reused + 1);
+          Mg_obs.Metrics.incr c_pool_hits;
+          b
+      | None ->
+          Mg_obs.Metrics.add c_alloc_bytes (8 * len);
+          Atomic.set a.st_alloc_bytes (Atomic.get a.st_alloc_bytes + (8 * len));
+          fresh_buffer len
+    in
+    live_add a (8 * len);
+    Ndarray.of_buffer shape b
+  end
 
-let recycle (a : Ndarray.t) =
-  let len = Ndarray.size a in
-  if len > 0 then
-    locked (fun () ->
-        let cell =
-          match Hashtbl.find_opt pool len with
-          | Some cell -> cell
-          | None ->
-              let cell = ref [] in
-              Hashtbl.add pool len cell;
-              cell
-        in
-        if Atomic.get debug && List.exists (fun b -> b == a.Ndarray.data) !cell then
-          failwith "Mempool: double recycle of a pooled buffer";
-        if List.length !cell < max_per_size then begin
-          cell := a.Ndarray.data :: !cell;
-          incr recycled
-        end)
+let in_pending a b =
+  let rec scan i = i < a.trail_len && (a.trail.(i) == b || scan (i + 1)) in
+  scan 0
+
+let recycle (arr : Ndarray.t) =
+  let len = Ndarray.size arr in
+  if len > 0 && Atomic.get pooling then begin
+    let a = arena () in
+    let b = arr.Ndarray.data in
+    if Atomic.get debug && (in_free_slot a b || in_pending a b) then
+      failwith "Mempool: double recycle of a pooled buffer";
+    if a.nmarks > 0 then trail_push a b
+    else begin
+      if put a b then Atomic.set a.st_recycled (Atomic.get a.st_recycled + 1);
+      live_sub a (8 * len)
+    end
+  end
+
+(* {2 Scopes} *)
+
+let mark () =
+  let a = arena () in
+  if a.nmarks = Array.length a.marks then begin
+    let nm = Array.make (max 8 (2 * Array.length a.marks)) 0 in
+    Array.blit a.marks 0 nm 0 a.nmarks;
+    a.marks <- nm
+  end;
+  a.marks.(a.nmarks) <- a.trail_len;
+  a.nmarks <- a.nmarks + 1
+
+let reset () =
+  let a = arena () in
+  if a.nmarks > 0 then begin
+    a.nmarks <- a.nmarks - 1;
+    let base = a.marks.(a.nmarks) in
+    for i = a.trail_len - 1 downto base do
+      let b = a.trail.(i) in
+      a.trail.(i) <- empty_buf;
+      (* Poisoning under debug makes any read through a stale alias of
+         a flushed buffer blow up a norm. *)
+      if Atomic.get debug then Bigarray.Array1.fill b Float.nan;
+      if put a b then Atomic.set a.st_recycled (Atomic.get a.st_recycled + 1);
+      live_sub a (8 * Bigarray.Array1.dim b)
+    done;
+    a.trail_len <- base
+  end
+
+let with_scope f =
+  mark ();
+  Fun.protect ~finally:reset f
+
+let scope_depth () = (arena ()).nmarks
+
+(* A result that leaves the engine, or an iterate carried across
+   scopes, must never sit in a free slot or on the pending trail: the
+   release hook skips escaped nodes and a live iterate's count never
+   reaches zero.  Under debug these verify that invariant at the
+   force/materialize boundary — a hit means a refcount bug upstream. *)
+let escape (arr : Ndarray.t) =
+  if Atomic.get debug && Ndarray.size arr > 0 && Atomic.get pooling then begin
+    let a = arena () in
+    let b = arr.Ndarray.data in
+    if in_free_slot a b || in_pending a b then
+      failwith "Mempool: escape of a pooled (free) buffer"
+  end
+
+let keep (arr : Ndarray.t) =
+  if Atomic.get debug && Ndarray.size arr > 0 && Atomic.get pooling then begin
+    let a = arena () in
+    let b = arr.Ndarray.data in
+    if in_free_slot a b || in_pending a b then
+      failwith "Mempool: keep of a pooled (free) buffer"
+  end
+
+(* {2 Cold paths} *)
 
 let assert_unpooled (b : Ndarray.buffer) ~ctx =
   let pooled =
     locked (fun () ->
-        Hashtbl.fold
-          (fun _ cell acc -> acc || List.exists (fun p -> p == b) !cell)
-          pool false)
+        let e = Atomic.get global_epoch in
+        List.exists (fun a -> Atomic.get a.epoch = e && in_free_slot a b) !registry)
   in
   if pooled then failwith (Printf.sprintf "Mempool: %s aliases a pooled (free) buffer" ctx)
 
-let clear () = locked (fun () -> Hashtbl.reset pool)
+let clear () =
+  ignore (Atomic.fetch_and_add global_epoch 1);
+  locked (fun () ->
+      retired_reused := 0;
+      retired_recycled := 0;
+      retired_alloc_bytes := 0);
+  Mg_obs.Metrics.set_gauge g_bytes_live 0.0;
+  sync_epoch (Domain.DLS.get key)
 
-let stats () = (!reused, !recycled)
+type snapshot = {
+  reused : int;
+  recycled : int;
+  alloc_bytes : int;
+  bytes_live : int;
+  bytes_live_hw : int;
+  arenas : int;
+}
+
+let snapshot () =
+  locked (fun () ->
+      let e = Atomic.get global_epoch in
+      List.fold_left
+        (fun acc a ->
+          if Atomic.get a.epoch <> e then acc (* flushes to zero on next touch *)
+          else
+            { reused = acc.reused + Atomic.get a.st_reused;
+              recycled = acc.recycled + Atomic.get a.st_recycled;
+              alloc_bytes = acc.alloc_bytes + Atomic.get a.st_alloc_bytes;
+              bytes_live = acc.bytes_live + Atomic.get a.st_live;
+              bytes_live_hw = acc.bytes_live_hw + Atomic.get a.st_live_hw;
+              arenas = acc.arenas + 1;
+            })
+        { reused = !retired_reused;
+          recycled = !retired_recycled;
+          alloc_bytes = !retired_alloc_bytes;
+          bytes_live = 0;
+          bytes_live_hw = 0;
+          arenas = 0;
+        }
+        !registry)
+
+let stats () =
+  let s = snapshot () in
+  (s.reused, s.recycled)
+
+(* Domain-pool integration: workers build their arena at spawn (first
+   touch would otherwise land mid-kernel) and retire it on exit so its
+   counters survive in the aggregate and its registry entry is
+   dropped. *)
+let init_local () = ignore (arena ())
+
+let retire_local () =
+  let a = Domain.DLS.get key in
+  flush_slots a;
+  locked (fun () ->
+      if Atomic.get a.epoch = Atomic.get global_epoch then begin
+        retired_reused := !retired_reused + Atomic.get a.st_reused;
+        retired_recycled := !retired_recycled + Atomic.get a.st_recycled;
+        retired_alloc_bytes := !retired_alloc_bytes + Atomic.get a.st_alloc_bytes
+      end;
+      registry := List.filter (fun x -> x != a) !registry)
+
+let () = Mg_smp.Domain_pool.set_domain_hooks ~on_start:init_local ~on_exit:retire_local

@@ -109,6 +109,25 @@ let with_reuse b f =
       reuse := saved;
       raise e
 
+(* Arena pooling delegates to Mempool's process switch (also settable
+   via MG_POOLING) rather than a Wl-local ref: the kill-switch must
+   reach allocations made from worker domains too. *)
+let set_pooling = Mempool.set_pooling
+let get_pooling = Mempool.get_pooling
+
+let with_pooling b f =
+  let saved = Mempool.get_pooling () in
+  Mempool.set_pooling b;
+  match f () with
+  | r ->
+      Mempool.set_pooling saved;
+      r
+  | exception e ->
+      Mempool.set_pooling saved;
+      raise e
+
+let with_pool_scope f = Mempool.with_scope f
+
 let set_kernel_timing b = Kernel.set_timing b
 let get_kernel_timing () = Kernel.get_timing ()
 
@@ -166,7 +185,12 @@ let force : t -> Ndarray.t = function
   | Ir.Node n ->
       Lazy.force tune_gc;
       Ir.mark_escaped n;
-      Exec.force (settings ()) n
+      let a = Exec.force (settings ()) n in
+      (* The result leaves the engine: exempt it from any active arena
+         scope so a bracketing reset cannot reclaim it under the
+         caller. *)
+      Mempool.escape a;
+      a
 
 (* Force without escaping: the value is materialised (so consumers
    read a buffer instead of folding a deep graph) but stays eligible
@@ -178,7 +202,11 @@ let materialize : t -> t = function
   | Ir.Arr _ as s -> s
   | Ir.Node n as s ->
       Lazy.force tune_gc;
-      ignore (Exec.force (settings ()) n);
+      let a = Exec.force (settings ()) n in
+      (* Loop-carried: the buffer outlives the current arena scope but
+         stays pool-owned, so its reclamation is deferred to the
+         enclosing scope's reset instead of being skipped for good. *)
+      Mempool.keep a;
       s
 
 let run_reference : t -> Ndarray.t = fun s -> Reference.run s

@@ -141,6 +141,30 @@ val set_reuse : bool -> unit
 val get_reuse : unit -> bool
 val with_reuse : bool -> (unit -> 'a) -> 'a
 
+val set_pooling : bool -> unit
+(** Enable the per-domain arena allocator behind the executor (default
+    [true], also controlled by the [MG_POOLING] env var — [0]/[off]
+    disables): materialised with-loops draw their buffers from the
+    calling domain's size-class arena and dead intermediates are
+    recycled into it.  Off degrades every allocation to a plain
+    [Ndarray.create_uninit] (the ablation baseline); results are
+    bitwise identical either way.  In-place reuse ({!set_reuse}) is
+    orthogonal and unaffected. *)
+
+val get_pooling : unit -> bool
+val with_pooling : bool -> (unit -> 'a) -> 'a
+
+val with_pool_scope : (unit -> 'a) -> 'a
+(** Bracket [f] with an arena {!Mempool.mark}/{!Mempool.reset} scope:
+    buffers the engine recycles inside [f] on this domain are held
+    back until [f] returns, then flushed to the free slots in one
+    sweep — a dead buffer is never re-handed within the scope, and the
+    next iteration allocates from the refilled slots instead of the
+    OS.  Results obtained through {!force} and iterates carried
+    through {!materialize} are never recycled, so a scope cannot
+    reclaim them.  The solver drivers wrap each V-cycle iteration (and
+    the whole solve) in one of these.  No-op when pooling is off. *)
+
 val set_kernel_timing : bool -> unit
 (** Record per-kernel ns/elt log₂ histograms ([kernel.ns_elt.*] in
     {!Mg_obs.Metrics}) on every piece execution.  Off by default — two

@@ -14,6 +14,10 @@ let () =
       Printf.printf "MG_REUSE=0: buffer-reuse pass disabled\n%!";
       Mg_withloop.Wl.set_reuse false
   | _ -> ());
+  (* MG_POOLING=0 is read by Mempool itself; just make the leg visible
+     in the test log. *)
+  (if not (Mg_withloop.Wl.get_pooling ()) then
+     Printf.printf "MG_POOLING=0: arena pooling disabled\n%!");
   Alcotest.run "sac_mg"
     [ Test_shape.suite;
       Test_ndarray.suite;
@@ -23,6 +27,7 @@ let () =
       Test_withloop.suite;
       Test_fusion.suite;
       Test_exec_oracle.suite;
+      Test_mempool.suite;
       Test_reference_oracle.suite;
       Test_plan_cache.suite;
       Test_arraylib.suite;

@@ -312,6 +312,7 @@ let test_policies_backends_bitwise_identical () =
    drives it from several domains at once and checks it still hands
    out usable arrays. *)
 let test_mempool_concurrent () =
+ Wl.with_pooling true @@ fun () ->
   Mempool.clear ();
   let pool = Mg_smp.Domain_pool.create 4 in
   let shp = [| 17; 13 |] in

@@ -1,0 +1,244 @@
+(* The per-domain arena allocator: scope (mark/reset) semantics, stats
+   and clear, capacity caps, the MG_POOLING kill-switch, and — the
+   property that matters — bitwise-identical results with pooling on
+   and off, under arbitrary nestings of scopes. *)
+
+open Mg_ndarray
+open Mg_withloop
+module E = Wl.Expr
+module Driver = Mg_core.Driver
+
+let same_buffer (a : Ndarray.t) (b : Ndarray.t) = a.Ndarray.data == b.Ndarray.data
+
+(* Satellite: [clear] must zero the reuse/recycle counters, not just
+   drop the buffers — repeated bench runs read deltas from zero. *)
+let test_clear_resets_stats () =
+  Wl.with_pooling true @@ fun () ->
+  Mempool.clear ();
+  let shp = [| 11; 7 |] in
+  for _ = 1 to 5 do
+    let a = Mempool.alloc shp in
+    Mempool.recycle a;
+    ignore (Mempool.alloc shp)
+  done;
+  let reused, recycled = Mempool.stats () in
+  Alcotest.(check bool) "counters moved before clear" true (reused > 0 && recycled > 0);
+  Mempool.clear ();
+  Alcotest.(check (pair int int)) "stats zero after clear" (0, 0) (Mempool.stats ());
+  let s = Mempool.snapshot () in
+  Alcotest.(check int) "alloc_bytes zero after clear" 0 s.Mempool.alloc_bytes;
+  Alcotest.(check int) "bytes_live zero after clear" 0 s.Mempool.bytes_live
+
+let test_capacity_cap () =
+  Wl.with_pooling true @@ fun () ->
+  Mempool.clear ();
+  let n = Mempool.max_per_class + 8 in
+  let shp = [| 53 |] in
+  let live = Array.init n (fun _ -> Mempool.alloc shp) in
+  Array.iter Mempool.recycle live;
+  let _, recycled = Mempool.stats () in
+  Alcotest.(check int) "free stack capped per class" Mempool.max_per_class recycled;
+  (* Draining the slot reuses exactly the capped population. *)
+  let again = Array.init n (fun _ -> Mempool.alloc shp) in
+  let reused, _ = Mempool.stats () in
+  Alcotest.(check int) "reuses capped population" Mempool.max_per_class reused;
+  ignore again
+
+(* A buffer recycled inside a scope is pending, not free: it must not
+   be handed back out until the matching [reset]. *)
+let test_scope_defers_recycle () =
+  Wl.with_pooling true @@ fun () ->
+  Mempool.clear ();
+  let shp = [| 31; 3 |] in
+  Mempool.mark ();
+  let a = Mempool.alloc shp in
+  Ndarray.fill a 42.0;
+  Mempool.recycle a;
+  let b = Mempool.alloc shp in
+  Alcotest.(check bool) "pending buffer not re-handed in scope" false (same_buffer a b);
+  Alcotest.(check (float 0.0)) "dead buffer untouched while pending" 42.0
+    (Ndarray.get a [| 0; 0 |]);
+  Mempool.recycle b;
+  Mempool.reset ();
+  Alcotest.(check int) "scope closed" 0 (Mempool.scope_depth ());
+  let c = Mempool.alloc shp in
+  let d = Mempool.alloc shp in
+  Alcotest.(check bool) "reset refilled the free slots" true
+    (same_buffer c a || same_buffer c b || same_buffer d a || same_buffer d b)
+
+(* Random interleavings of alloc / recycle / mark / reset against a
+   shadow model: every live allocation keeps its sentinel value (no
+   two live arrays ever share a buffer) and scope depth tracks the
+   model.  Sizes collide in a handful of classes to stress slot
+   claiming and LRU eviction. *)
+let qcheck_scopes_shadow_model =
+  let op =
+    QCheck.Gen.(
+      frequency
+        [ (5, map (fun i -> `Alloc i) (0 -- 2));
+          (4, return `Recycle);
+          (2, return `Mark);
+          (2, return `Reset);
+        ])
+  in
+  let print_ops ops =
+    String.concat ""
+      (List.map
+         (function
+           | `Alloc i -> Printf.sprintf "A%d " i
+           | `Recycle -> "R "
+           | `Mark -> "[ "
+           | `Reset -> "] ")
+         ops)
+  in
+  let arb = QCheck.make ~print:print_ops QCheck.Gen.(list_size (10 -- 80) op) in
+  QCheck.Test.make ~name:"scoped arena vs shadow model (sentinels intact)" ~count:200 arb
+    (fun ops ->
+      Wl.with_pooling true @@ fun () ->
+      Mempool.clear ();
+      let sizes = [| [| 17 |]; [| 17; 2 |]; [| 5; 7 |] |] in
+      let live = ref [] in
+      let next = ref 0 in
+      let depth = ref 0 in
+      let check_live () =
+        List.for_all (fun (a, v) -> Ndarray.get_flat a 0 = v) !live
+        && Mempool.scope_depth () = !depth
+      in
+      let ok =
+        List.for_all
+          (fun o ->
+            (match o with
+            | `Alloc i ->
+                let a = Mempool.alloc sizes.(i) in
+                incr next;
+                let v = float_of_int !next in
+                Ndarray.fill a v;
+                live := (a, v) :: !live
+            | `Recycle -> (
+                match !live with
+                | (a, _) :: rest ->
+                    live := rest;
+                    Mempool.recycle a
+                | [] -> ())
+            | `Mark ->
+                Mempool.mark ();
+                incr depth
+            | `Reset ->
+                Mempool.reset ();
+                if !depth > 0 then decr depth);
+            check_live ())
+          ops
+      in
+      (* Unwind whatever the sequence left open. *)
+      while Mempool.scope_depth () > 0 do
+        Mempool.reset ()
+      done;
+      ok)
+
+(* Regression: a result that leaves the engine through [Wl.force]
+   inside a scope must survive the [reset] — debug NaN-poisoning of
+   reclaimed buffers turns any violation into a loud failure. *)
+let test_escape_through_reset () =
+  Wl.with_pooling true @@ fun () ->
+  Mempool.clear ();
+  Mempool.set_debug true;
+  Fun.protect ~finally:(fun () -> Mempool.set_debug false) @@ fun () ->
+  let shp = [| 9; 9 |] in
+  let src = Wl.of_ndarray (Ndarray.init shp (fun iv -> float_of_int (iv.(0) + (10 * iv.(1))))) in
+  let r =
+    Wl.with_pool_scope (fun () ->
+        (* Chain two sweeps so the intermediate dies (and is recycled
+           onto the scope trail) while the final result escapes. *)
+        let mid = Wl.genarray shp [ (Generator.full shp, E.(read src * const 2.0)) ] in
+        Wl.force (Wl.genarray shp [ (Generator.full shp, E.(read mid + const 1.0)) ]))
+  in
+  Alcotest.(check (float 0.0)) "escaped result intact after reset" (2.0 *. 84.0 +. 1.0)
+    (Ndarray.get r [| 4; 8 |])
+
+(* Regression: with buffer-reuse on, a result aliasing a dead
+   operand's buffer (Plan.OReuse) is still a live, escaped result —
+   the scope reset must not reclaim the aliased buffer. *)
+let test_reuse_alias_survives_reset () =
+  Wl.with_pooling true @@ fun () ->
+  Wl.with_reuse true @@ fun () ->
+  Mempool.clear ();
+  Mempool.set_debug true;
+  Fun.protect ~finally:(fun () -> Mempool.set_debug false) @@ fun () ->
+  let shp = [| 8; 8 |] in
+  let r =
+    Wl.with_pool_scope (fun () ->
+        let a = Wl.genarray shp [ (Generator.full shp, E.const 3.0) ] in
+        (* Fully covered sweep over a dying operand with identity
+           reads: the reuse pass aliases the output with [a]. *)
+        Wl.force (Wl.genarray shp [ (Generator.full shp, E.(read a * const 5.0)) ]))
+  in
+  let expect = Ndarray.fill_value shp 15.0 in
+  Alcotest.(check bool) "aliased result intact after reset" true (Ndarray.equal ~eps:0.0 r expect)
+
+(* The headline property: the solver is bitwise identical with pooling
+   on and off (the arena only changes *which* buffers carry values,
+   never the values). *)
+let test_solver_bitwise_pooling_on_off () =
+  let rnm2 pooling =
+    (Driver.run ~pooling ~impl:Driver.Sac ~cls:Mg_core.Classes.tiny ()).Driver.rnm2
+  in
+  Alcotest.(check int64) "sac/tiny rnm2 bitwise equal across pooling"
+    (Int64.bits_of_float (rnm2 false))
+    (Int64.bits_of_float (rnm2 true))
+
+let test_kill_switch_inert () =
+  Wl.with_pooling false @@ fun () ->
+  Mempool.clear ();
+  let shp = [| 13; 13 |] in
+  Mempool.mark ();
+  let a = Mempool.alloc shp in
+  Ndarray.fill a 7.0;
+  Mempool.recycle a;
+  Mempool.reset ();
+  Alcotest.(check (pair int int)) "pooling off cycles nothing" (0, 0) (Mempool.stats ());
+  let s = Mempool.snapshot () in
+  Alcotest.(check int) "no live bytes tracked" 0 s.Mempool.bytes_live
+
+(* Satellite: the concurrent hammer, scoped — every worker brackets
+   its batch in nested scopes on its own arena. *)
+let test_scoped_concurrent_hammer () =
+  Wl.with_pooling true @@ fun () ->
+  Mempool.clear ();
+  let pool = Mg_smp.Domain_pool.create 4 in
+  let shp = [| 17; 13 |] in
+  let intact = Array.make 400 false in
+  Mg_smp.Domain_pool.parallel_for ~policy:(Mg_smp.Sched_policy.Dynamic_chunked 8) pool ~lo:0
+    ~hi:400 (fun lo hi ->
+      Mempool.with_scope (fun () ->
+          for i = lo to hi - 1 do
+            let a = Mempool.alloc shp in
+            Ndarray.fill a (float_of_int i);
+            Mempool.with_scope (fun () ->
+                let b = Mempool.alloc [| 64 |] in
+                Ndarray.fill b (float_of_int (i * 2));
+                intact.(i) <-
+                  Ndarray.get a [| 3; 3 |] = float_of_int i
+                  && Ndarray.get b [| 5 |] = float_of_int (i * 2);
+                Mempool.recycle b);
+            Mempool.recycle a
+          done));
+  Mg_smp.Domain_pool.shutdown pool;
+  Alcotest.(check bool) "all live allocations intact" true (Array.for_all Fun.id intact);
+  let reused, recycled = Mempool.stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "scoped pool cycled buffers (reused %d, recycled %d)" reused recycled)
+    true
+    (reused > 0 && recycled > 0)
+
+let suite =
+  ( "mempool",
+    [ Alcotest.test_case "clear resets stats" `Quick test_clear_resets_stats;
+      Alcotest.test_case "free stack capacity cap" `Quick test_capacity_cap;
+      Alcotest.test_case "scope defers recycle to reset" `Quick test_scope_defers_recycle;
+      QCheck_alcotest.to_alcotest qcheck_scopes_shadow_model;
+      Alcotest.test_case "escape through reset" `Quick test_escape_through_reset;
+      Alcotest.test_case "reuse alias survives reset" `Quick test_reuse_alias_survives_reset;
+      Alcotest.test_case "solver bitwise across pooling" `Quick test_solver_bitwise_pooling_on_off;
+      Alcotest.test_case "kill-switch inert" `Quick test_kill_switch_inert;
+      Alcotest.test_case "scoped concurrent hammer" `Quick test_scoped_concurrent_hammer;
+    ] )

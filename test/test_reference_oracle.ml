@@ -431,21 +431,24 @@ let test_escaped_operand_not_aliased () =
   Alcotest.(check bool) "escaped values untouched" true (Ndarray.equal parr snapshot)
 
 (* Debug-mode mempool guards: double recycle and pooled-buffer aliasing
-   are hard failures. *)
+   are hard failures.  Both need the pool active, whatever MG_POOLING
+   the suite leg runs under. *)
 let test_debug_double_recycle () =
-  with_mempool_debug (fun () ->
-      let a = Mempool.alloc [| 11; 3 |] in
-      Mempool.recycle a;
-      Alcotest.check_raises "double recycle detected"
-        (Failure "Mempool: double recycle of a pooled buffer") (fun () -> Mempool.recycle a))
+  Wl.with_pooling true (fun () ->
+      with_mempool_debug (fun () ->
+          let a = Mempool.alloc [| 11; 3 |] in
+          Mempool.recycle a;
+          Alcotest.check_raises "double recycle detected"
+            (Failure "Mempool: double recycle of a pooled buffer") (fun () -> Mempool.recycle a)))
 
 let test_assert_unpooled () =
-  let a = Mempool.alloc [| 13 |] in
-  Mempool.assert_unpooled a.Ndarray.data ~ctx:"live buffer";
-  Mempool.recycle a;
-  Alcotest.check_raises "pooled buffer flagged"
-    (Failure "Mempool: in-place output aliases a pooled (free) buffer") (fun () ->
-      Mempool.assert_unpooled a.Ndarray.data ~ctx:"in-place output")
+  Wl.with_pooling true (fun () ->
+      let a = Mempool.alloc [| 13 |] in
+      Mempool.assert_unpooled a.Ndarray.data ~ctx:"live buffer";
+      Mempool.recycle a;
+      Alcotest.check_raises "pooled buffer flagged"
+        (Failure "Mempool: in-place output aliases a pooled (free) buffer") (fun () ->
+          Mempool.assert_unpooled a.Ndarray.data ~ctx:"in-place output"))
 
 let suite =
   ( "reference_oracle",
