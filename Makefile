@@ -52,6 +52,13 @@ profile-smoke: build
 	  if [ "$$locks" -gt 8 ]; then \
 	    echo "profile-smoke: $$locks mempool:lock spans in results/trace.json (alloc path is locking)"; exit 1; \
 	  else echo "profile-smoke: mempool lock spans OK ($$locks cold-path spans)"; fi
+	# Per-engine cache statistics must be reported in results/bench.json:
+	# a tiny-quota bench run, then assert the "engines" array exists and
+	# some engine recorded plan-cache hits.
+	MG_BENCH_QUOTA=0.05 dune exec bench/main.exe > /dev/null
+	awk '/"engines":/{f=1} f && /"hits":/{ if ($$2+0 > 0) ok=1 } /"results":/{f=0} \
+	  END { if (!ok) { print "profile-smoke: no per-engine cache hits in results/bench.json"; exit 1 }; \
+	        print "profile-smoke: per-engine cache stats OK" }' results/bench.json
 
 check: build test smoke profile-smoke
 

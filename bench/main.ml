@@ -111,12 +111,20 @@ let arraylib_tests () =
 
 (* --- harness --------------------------------------------------------- *)
 
-let default_cfg = lazy (Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None ())
+(* MG_BENCH_QUOTA scales the sampling quotas (seconds; default 1.0) —
+   CI's profile-smoke sets a small value to assert the reporting
+   plumbing without paying the full sampling time. *)
+let quota =
+  match Option.bind (Sys.getenv_opt "MG_BENCH_QUOTA") float_of_string_opt with
+  | Some q when q > 0.0 -> q
+  | _ -> 1.0
+
+let default_cfg = lazy (Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ())
 
 (* The fig11 rows run the whole benchmark per sample (1.5-16 ms each),
    so a 1 s quota yields too few samples for a stable OLS fit — the
    f77_mini row regressed to r² 0.41.  Give them a long quota. *)
-let slow_cfg = lazy (Benchmark.cfg ~limit:2000 ~quota:(Time.second 5.0) ~kde:None ())
+let slow_cfg = lazy (Benchmark.cfg ~limit:2000 ~quota:(Time.second (5.0 *. quota)) ~kde:None ())
 
 let benchmark ~cfg tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -184,6 +192,23 @@ let () =
              ("uncacheable", Json.Int cstats.Mg_withloop.Plan_cache.uncacheable);
              ("saved_seconds", Json.Float cstats.Mg_withloop.Plan_cache.saved_seconds);
            ]);
+        (* Per-engine cache statistics: one record per live engine
+           (the default engine plus any created ones). *)
+        ("engines",
+         Json.List
+           (List.map
+              (fun e ->
+                let s = Mg_withloop.Engine.cache_stats e in
+                Json.Obj
+                  [ ("id", Json.Int (Mg_withloop.Engine.id e));
+                    ("plans", Json.Int (Mg_withloop.Engine.cache_length e));
+                    ("hits", Json.Int s.Mg_withloop.Plan_cache.hits);
+                    ("misses", Json.Int s.Mg_withloop.Plan_cache.misses);
+                    ("evictions", Json.Int s.Mg_withloop.Plan_cache.evictions);
+                    ("uncacheable", Json.Int s.Mg_withloop.Plan_cache.uncacheable);
+                    ("saved_seconds", Json.Float s.Mg_withloop.Plan_cache.saved_seconds);
+                  ])
+              (Mg_withloop.Engine.all ())));
         (* The whole metrics registry, so new instruments land in the
            bench record without touching this file again. *)
         ("metrics",

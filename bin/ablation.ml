@@ -258,8 +258,8 @@ let periodic_ablation (cls : Classes.t) =
 
 let run stencil fusion memory periodic kernelpath reuse kernels n cls =
   Exp_common.header ();
-  Option.iter Wl.set_cfun kernels;
-  let any = stencil || fusion || memory || periodic || kernelpath || reuse in
+  let run_sections () =
+    let any = stencil || fusion || memory || periodic || kernelpath || reuse in
   if stencil || not any then stencil_ablation n;
   if kernelpath || not any then begin
     if stencil || not any then Printf.printf "\n";
@@ -280,7 +280,14 @@ let run stencil fusion memory periodic kernelpath reuse kernels n cls =
   if periodic || not any then begin
     Printf.printf "\n";
     periodic_ablation cls
-  end;
+  end
+  in
+  (* A scoped engine derivation, not Wl.set_cfun: the override is
+     gone when the sections return, and the binary stays usable under
+     MG_ENGINE_STRICT=1. *)
+  (match kernels with
+  | Some k -> Wl.with_cfun k run_sections
+  | None -> run_sections ());
   0
 
 open Cmdliner

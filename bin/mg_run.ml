@@ -56,14 +56,13 @@ let run impl cls opt threads sched tile backend kernels reuse pooling profile cu
     | Some (planes, rows) -> Mg_smp.Sched_policy.Tiled { planes; rows }
     | None -> sched
   in
-  Option.iter Mg_withloop.Wl.set_cfun kernels;
-  Option.iter Mg_withloop.Wl.set_reuse reuse;
-  Option.iter Mg_withloop.Wl.set_pooling pooling;
   let modes = Option.value profile ~default:[] in
   let trace = List.mem Ptrace modes in
   let observe = List.exists (function Preport | Pchrome _ -> true | Ptrace -> false) modes in
   if observe then Mg_withloop.Wl.set_kernel_timing true;
-  let drive () = Driver.run ~opt ~threads ~sched ~backend ~trace ~impl ~cls () in
+  let drive () =
+    Driver.run ~opt ~threads ~sched ~backend ?cfun:kernels ?reuse ?pooling ~trace ~impl ~cls ()
+  in
   let result =
     if observe then begin
       Span.clear ();

@@ -22,44 +22,49 @@ type result = {
   events : Trace.event list;
 }
 
-let run ?opt ?(threads = 1) ?sched ?backend ?reuse ?pooling ?(trace = false) ~impl ~cls () =
-  let saved_opt = Wl.get_opt_level () in
-  let saved_threads = Wl.get_threads () in
-  let saved_sched = Wl.get_sched_policy () in
-  let saved_backend = Wl.get_backend () in
-  let saved_reuse = Wl.get_reuse () in
-  let saved_pooling = Wl.get_pooling () in
-  (match opt with Some l -> Wl.set_opt_level l | None -> ());
-  (match sched with Some p -> Wl.set_sched_policy p | None -> ());
-  (match backend with Some b -> Wl.set_backend b | None -> ());
-  (match reuse with Some r -> Wl.set_reuse r | None -> ());
-  (match pooling with Some p -> Wl.set_pooling p | None -> ());
-  Wl.set_threads threads;
-  let body () =
-    Mg_obs.Span.with_
-      ~attrs:[ ("impl", impl_to_string impl); ("class", cls.Classes.name) ]
-      ~name:"driver:run"
-      (fun () ->
-        match impl with
-        | Sac -> Mg_sac.run cls
-        | F77 -> Mg_f77.run cls
-        | C -> Mg_c.run cls
-        | Periodic -> Mg_periodic.run cls)
+(* Each call derives a one-shot engine from the caller's (or the
+   given) engine and installs it for the duration of the solve: no
+   global is mutated, nothing needs restoring, and a raising solve
+   cannot leak settings into the next caller.  Concurrent runs with
+   different configurations are safe when each uses its own created
+   engine (derived engines share their parent's execution pool, which
+   is not reentrant). *)
+let run ?engine ?opt ?threads ?sched ?backend ?cfun ?reuse ?pooling ?line_buffers
+    ?(trace = false) ~impl ~cls () =
+  let base = match engine with Some e -> e | None -> Engine.current () in
+  let e =
+    Engine.derive base (fun c ->
+        { c with
+          Engine.opt_level = Option.value opt ~default:c.Engine.opt_level;
+          threads = Option.value threads ~default:c.Engine.threads;
+          sched = Option.value sched ~default:c.Engine.sched;
+          backend = Option.value backend ~default:c.Engine.backend;
+          cfun = Option.value cfun ~default:c.Engine.cfun;
+          reuse = Option.value reuse ~default:c.Engine.reuse;
+          pooling = Option.value pooling ~default:c.Engine.pooling;
+          line_buffers = Option.value line_buffers ~default:c.Engine.line_buffers;
+        })
   in
-  let events, (rnm2, seconds) =
-    if trace then Trace.with_collector body else ([], body ())
-  in
-  Wl.set_opt_level saved_opt;
-  Wl.set_threads saved_threads;
-  Wl.set_sched_policy saved_sched;
-  Wl.set_backend saved_backend;
-  Wl.set_reuse saved_reuse;
-  Wl.set_pooling saved_pooling;
-  (* Only the Fortran port preserves the reference code's exact
-     floating-point evaluation order; the C port regroups neighbour
-     sums and the with-loop optimiser reassociates freely. *)
-  let exact_order = impl = F77 in
-  { impl; cls; rnm2; seconds; status = Verify.check ~exact_order cls ~rnm2; events }
+  Wl.with_engine e (fun () ->
+      let body () =
+        Mg_obs.Span.with_
+          ~attrs:[ ("impl", impl_to_string impl); ("class", cls.Classes.name) ]
+          ~name:"driver:run"
+          (fun () ->
+            match impl with
+            | Sac -> Mg_sac.run cls
+            | F77 -> Mg_f77.run cls
+            | C -> Mg_c.run cls
+            | Periodic -> Mg_periodic.run cls)
+      in
+      let events, (rnm2, seconds) =
+        if trace then Trace.with_collector body else ([], body ())
+      in
+      (* Only the Fortran port preserves the reference code's exact
+         floating-point evaluation order; the C port regroups neighbour
+         sums and the with-loop optimiser reassociates freely. *)
+      let exact_order = impl = F77 in
+      { impl; cls; rnm2; seconds; status = Verify.check ~exact_order cls ~rnm2; events })
 
 let traced_run ~impl ~cls = run ~threads:1 ~trace:true ~impl ~cls ()
 

@@ -21,21 +21,28 @@ type result = {
 }
 
 val run :
+  ?engine:Engine.t ->
   ?opt:Wl.opt_level ->
   ?threads:int ->
   ?sched:Sched_policy.t ->
   ?backend:Backend.t ->
+  ?cfun:bool ->
   ?reuse:bool ->
   ?pooling:bool ->
+  ?line_buffers:bool ->
   ?trace:bool ->
   impl:impl ->
   cls:Classes.t ->
   unit ->
   result
-(** Defaults: current global opt level, 1 thread, current scheduling
-    policy, backend, buffer-reuse and arena-pooling settings, no
-    trace.  The global with-loop configuration is restored
-    afterwards. *)
+(** Each call solves under a one-shot engine derived from [engine]
+    (default: the calling domain's current engine) with the given
+    overrides applied; unspecified knobs inherit the base engine's
+    configuration.  No global state is mutated and nothing needs
+    restoring — a raising solve cannot leak settings into the next
+    caller.  For concurrent runs with different configurations, pass
+    each call its own {!Engine.create}d engine (derived engines share
+    their parent's execution pool, which is not reentrant). *)
 
 val traced_run : impl:impl -> cls:Classes.t -> result
 (** [run ~trace:true] at sequential settings — the input for

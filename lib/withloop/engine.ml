@@ -1,0 +1,284 @@
+module Domain_pool = Mg_smp.Domain_pool
+module Sched_policy = Mg_smp.Sched_policy
+
+(* The reified engine: everything that used to live in Wl's module
+   globals — optimisation level, threading, scheduling, the plan
+   cache, the pooling/observation gates — bundled into an explicit
+   value that can be threaded through a solve.  Two engines with
+   different configurations can run concurrently from separate
+   domains without trampling each other; the old global API survives
+   as a compat shim over one [default] engine. *)
+
+type opt_level = O0 | O1 | O2 | O3
+
+type config = {
+  opt_level : opt_level;
+  threads : int;
+  par_threshold : int;
+  split_threshold : int;
+  line_buffers : bool;
+  cfun : bool;
+  reuse : bool;
+  pooling : bool;
+  observe : bool;
+  sched : Sched_policy.t;
+  backend : Backend.t;
+}
+
+(* Literal defaults (no environment, no process atomics) so
+   [config_of_env ~getenv:(fun _ -> None) ()] is deterministic
+   whatever the test matrix exported. *)
+let default_config =
+  { opt_level = O3;
+    threads = 1;
+    par_threshold = 16384;
+    split_threshold = 2048;
+    line_buffers = true;
+    cfun = true;
+    reuse = true;
+    pooling = true;
+    observe = true;
+    sched = Sched_policy.default;
+    backend = Backend.default;
+  }
+
+let bool_of_string_opt s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "off" | "false" | "no" -> Some false
+  | "1" | "on" | "true" | "yes" -> Some true
+  | _ -> None
+
+let config_of_env ?(getenv = Sys.getenv_opt) () =
+  let c = default_config in
+  let flag name dflt =
+    match getenv name with
+    | Some v -> Option.value (bool_of_string_opt v) ~default:dflt
+    | None -> dflt
+  in
+  let threads =
+    match getenv "MG_PROCS" with
+    | Some v -> (
+        match int_of_string_opt (String.trim v) with Some n when n >= 1 -> n | _ -> c.threads)
+    | None -> c.threads
+  in
+  { c with
+    threads;
+    reuse = flag "MG_REUSE" c.reuse;
+    pooling = flag "MG_POOLING" c.pooling;
+    observe = flag "MG_OBSERVE" c.observe;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine values                                                       *)
+
+type pool_ref =
+  | Shared_global  (** Execute on {!Domain_pool.get_global}, resized to [config.threads]. *)
+  | Owned of { mutable pool : Domain_pool.t option; pm : Mutex.t }
+
+type t = {
+  id : int;
+  mutable config : config;
+  cache : Plan.cache_entry Plan_cache.t;
+  pool_ref : pool_ref;
+}
+
+let id_counter = Atomic.make 0
+let next_id () = Atomic.fetch_and_add id_counter 1
+
+(* Registry of created (not derived) engines, for diagnostics — the
+   bench harness dumps per-engine cache statistics from here. *)
+let reg_mu = Mutex.create ()
+let registry : t list ref = ref []
+
+let register e =
+  Mutex.lock reg_mu;
+  registry := e :: !registry;
+  Mutex.unlock reg_mu
+
+let unregister e =
+  Mutex.lock reg_mu;
+  registry := List.filter (fun e' -> e' != e) !registry;
+  Mutex.unlock reg_mu
+
+let all () =
+  Mutex.lock reg_mu;
+  let l = List.rev !registry in
+  Mutex.unlock reg_mu;
+  l
+
+let create ?config:(c = config_of_env ()) () =
+  let e =
+    { id = next_id ();
+      config = c;
+      cache = Plan_cache.create ();
+      pool_ref = Owned { pool = None; pm = Mutex.create () };
+    }
+  in
+  register e;
+  e
+
+(* A derived engine is a cheap reconfiguration of its parent: it
+   shares the parent's plan cache (keys carry the optimisation
+   fingerprint, so entries from different configs never collide) and
+   its execution pool, but carries its own config record.  This is
+   what the scoped [Wl.with_*] combinators hand out. *)
+let derive parent f =
+  { id = next_id (); config = f parent.config; cache = parent.cache; pool_ref = parent.pool_ref }
+
+let shutdown e =
+  (match e.pool_ref with
+  | Shared_global -> ()
+  | Owned o ->
+      Mutex.lock o.pm;
+      (match o.pool with Some p -> Domain_pool.shutdown p | None -> ());
+      o.pool <- None;
+      Mutex.unlock o.pm);
+  unregister e
+
+(* ------------------------------------------------------------------ *)
+(* The default engine and the dynamically current one                  *)
+
+let default_mu = Mutex.create ()
+let default_ref : t option ref = ref None
+
+let default () =
+  Mutex.lock default_mu;
+  let e =
+    match !default_ref with
+    | Some e -> e
+    | None ->
+        let e =
+          { id = next_id ();
+            config = config_of_env ();
+            cache = Plan_cache.create ();
+            pool_ref = Shared_global;
+          }
+        in
+        default_ref := Some e;
+        register e;
+        e
+  in
+  Mutex.unlock default_mu;
+  e
+
+(* Domain-local: each domain has its own current-engine binding, so a
+   [with_current] on one domain is invisible to solves running on
+   another. *)
+let current_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () =
+  match !(Domain.DLS.get current_key) with Some e -> e | None -> default ()
+
+let with_current e f =
+  let cell = Domain.DLS.get current_key in
+  let saved = !cell in
+  cell := Some e;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Strict mode: MG_ENGINE_STRICT=1 turns every compat-shim mutation of
+   the default engine into a hard error, proving the suite runs on
+   the engine API alone. *)
+
+let strict_flag =
+  Atomic.make
+    (match Sys.getenv_opt "MG_ENGINE_STRICT" with
+    | Some v -> Option.value (bool_of_string_opt v) ~default:false
+    | None -> false)
+
+let strict () = Atomic.get strict_flag
+let set_strict b = Atomic.set strict_flag b
+
+let update_default ~shim f =
+  if Atomic.get strict_flag then
+    failwith
+      (Printf.sprintf
+         "Engine: %s mutates the default engine under MG_ENGINE_STRICT=1; use Engine.create \
+          / Engine.derive or the scoped Wl.with_* combinators"
+         shim);
+  let e = default () in
+  e.config <- f e.config
+
+(* ------------------------------------------------------------------ *)
+(* Execution plumbing                                                  *)
+
+let id e = e.id
+let config e = e.config
+let set_config e c = e.config <- c
+
+let pool e () =
+  match e.pool_ref with
+  | Shared_global ->
+      let p = Domain_pool.get_global () in
+      if Domain_pool.size p = e.config.threads then p
+      else begin
+        Domain_pool.set_global_size e.config.threads;
+        Domain_pool.get_global ()
+      end
+  | Owned o ->
+      Mutex.lock o.pm;
+      let p =
+        match o.pool with
+        | Some p when Domain_pool.size p = e.config.threads -> p
+        | Some p ->
+            Domain_pool.shutdown p;
+            let p = Domain_pool.create e.config.threads in
+            o.pool <- Some p;
+            p
+        | None ->
+            let p = Domain_pool.create e.config.threads in
+            o.pool <- Some p;
+            p
+      in
+      Mutex.unlock o.pm;
+      p
+
+let settings e : Exec.settings =
+  let c = e.config in
+  let t = c.split_threshold in
+  (* Staged kernel compilation and buffer reuse join at O2, like
+     folding: O0/O1 keep the interpreted generic nest and fresh
+     allocations so the ablation harness can isolate each
+     optimisation. *)
+  let fusion, factor, cfun_on, reuse_on =
+    match c.opt_level with
+    | O0 ->
+        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false, false, false)
+    | O1 ->
+        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true, false, false)
+    | O2 ->
+        ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true, c.cfun, c.reuse)
+    | O3 ->
+        ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true, c.cfun, c.reuse)
+  in
+  { Exec.fusion;
+    factor;
+    line_buffers = c.line_buffers;
+    cfun = cfun_on;
+    reuse = reuse_on;
+    pooling = c.pooling;
+    observe = c.observe;
+    cache = e.cache;
+    pool = pool e;
+    par_threshold = c.par_threshold;
+    sched = c.sched;
+    backend = c.backend;
+  }
+
+let cache e = e.cache
+let cache_stats e = Plan_cache.stats e.cache
+let cache_length e = Plan_cache.length e.cache
+
+let cache_clear e =
+  Plan_cache.clear e.cache;
+  Plan_cache.reset_stats e.cache;
+  Mempool.clear ()
+
+let opt_level_of_string = function
+  | "O0" | "o0" | "0" -> Some O0
+  | "O1" | "o1" | "1" -> Some O1
+  | "O2" | "o2" | "2" -> Some O2
+  | "O3" | "o3" | "3" -> Some O3
+  | _ -> None
+
+let opt_level_to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"

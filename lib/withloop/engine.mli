@@ -1,0 +1,133 @@
+(** Explicit engine contexts — the reified form of what used to be
+    {!Wl}'s module globals.
+
+    An {!t} bundles one complete engine: the optimisation
+    configuration ({!config}), a private {!Plan_cache} instance, and
+    an execution-pool handle.  Threading an engine through a solve
+    (see [Driver.run ?engine] and {!with_current}) replaces mutating
+    process globals, so two engines with different settings can solve
+    concurrently from separate domains — the prerequisite for the
+    multi-tenant solver service (ROADMAP item 1).
+
+    The pre-existing [Wl.set_*]/[get_*] API survives as a compat shim
+    over the {!default} engine; [MG_ENGINE_STRICT=1] ({!strict}) turns
+    any shim mutation into a hard error so CI can prove the suite runs
+    on the engine API alone.  The scoped [Wl.with_*] combinators are
+    strict-safe: they {!derive} a reconfigured engine and install it
+    with {!with_current} instead of mutating anything. *)
+
+type opt_level =
+  | O0  (** Materialise everything; one multiplication per stencil term. *)
+  | O1  (** + coefficient factoring (27 mults → 4 for NAS-MG stencils). *)
+  | O2  (** + with-loop folding, staged kernels (cfun), buffer reuse. *)
+  | O3  (** + residue-class generator splitting for strided producers. *)
+
+type config = {
+  opt_level : opt_level;
+  threads : int;  (** Execution-pool size ([>= 1]; 1 = sequential). *)
+  par_threshold : int;  (** Minimum part cardinality for parallel execution. *)
+  split_threshold : int;  (** Minimum cardinality for generator splitting. *)
+  line_buffers : bool;  (** Line-buffered box-stencil kernels. *)
+  cfun : bool;  (** Staged kernel compilation (effective at O2+). *)
+  reuse : bool;  (** Buffer-reuse analysis (effective at O2+). *)
+  pooling : bool;  (** Draw buffers from the {!Mempool} arenas. *)
+  observe : bool;
+      (** Engine-level observation gate: [false] keeps this engine's
+          forces out of traces/spans even when the process-wide
+          switches are on. *)
+  sched : Mg_smp.Sched_policy.t;
+  backend : Backend.t;
+}
+
+val default_config : config
+(** The literal defaults (O3, 1 thread, pooling on, observation gate
+    open) — independent of the environment. *)
+
+val config_of_env : ?getenv:(string -> string option) -> unit -> config
+(** {!default_config} overridden by the environment: [MG_PROCS]
+    (thread count, [>= 1]), [MG_REUSE], [MG_POOLING], [MG_OBSERVE]
+    (booleans: [0]/[off]/[false]/[no] and [1]/[on]/[true]/[yes]).
+    This is the one place environment variables are parsed; pass
+    [~getenv] to test the parsing hermetically. *)
+
+type t
+(** One engine: a config, a private plan cache, an execution pool. *)
+
+val create : ?config:config -> unit -> t
+(** A fresh engine with its own {!Plan_cache} and its own (lazily
+    spawned, owned) domain pool.  Default config: {!config_of_env}.
+    Registered in {!all} until {!shutdown}. *)
+
+val derive : t -> (config -> config) -> t
+(** A cheap reconfiguration: shares the parent's plan cache (keys
+    carry the optimisation fingerprint, so configs never collide) and
+    execution pool, with its own config.  Not registered; nothing to
+    shut down. *)
+
+val shutdown : t -> unit
+(** Shut down an {!create}d engine's owned pool and drop it from
+    {!all}.  The engine must not be used afterwards. *)
+
+val default : unit -> t
+(** The process-default engine (created on first use from
+    {!config_of_env}; executes on the global domain pool).  This is
+    the engine the [Wl.set_*] compat shim mutates. *)
+
+val current : unit -> t
+(** The calling domain's dynamically-bound engine ({!with_current}),
+    falling back to {!default}.  This is what [Wl.force] consults —
+    the only engine lookup on the solve hot path. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Run [f] with [e] as the calling domain's current engine
+    (restored afterwards, exceptions included).  Domain-local: solves
+    on other domains are unaffected. *)
+
+val id : t -> int
+(** Unique per engine (including derived ones); tags mempool scope
+    marks so interleaved scopes of two engines trip the debug guard. *)
+
+val config : t -> config
+val set_config : t -> config -> unit
+(** Replace the engine's config (takes effect on the next force).
+    Prefer {!derive} for scoped changes. *)
+
+val settings : t -> Exec.settings
+(** The executor settings for the engine's current config: the
+    opt-level feature table applied, the engine's cache and pool
+    handles included. *)
+
+val pool : t -> unit -> Mg_smp.Domain_pool.t
+(** The engine's execution pool, created/resized on demand to
+    [config.threads].  {!create}d engines own theirs; {!default} (and
+    engines derived from it) resize the process-global pool. *)
+
+(** {1 Per-engine plan cache} *)
+
+val cache : t -> Plan.cache_entry Plan_cache.t
+val cache_stats : t -> Plan_cache.stats
+val cache_length : t -> int
+val cache_clear : t -> unit
+(** Drop the engine's cached plans, zero its statistics, and release
+    the (process-wide) pooled buffers. *)
+
+(** {1 Strict mode} *)
+
+val strict : unit -> bool
+(** [MG_ENGINE_STRICT] at start-up, or the last {!set_strict}. *)
+
+val set_strict : bool -> unit
+
+val update_default : shim:string -> (config -> config) -> unit
+(** Mutate the default engine's config — the compat shim's backend.
+    Raises [Failure] under {!strict}, naming [shim] as the offender. *)
+
+(** {1 Introspection} *)
+
+val all : unit -> t list
+(** Every {!create}d (and the default) engine still alive, in creation
+    order — the bench harness reports per-engine cache stats from
+    this. *)
+
+val opt_level_of_string : string -> opt_level option
+val opt_level_to_string : opt_level -> string

@@ -19,6 +19,9 @@ type settings = {
   line_buffers : bool;
   cfun : bool;
   reuse : bool;
+  pooling : bool;
+  observe : bool;
+  cache : Plan.cache_entry Plan_cache.t;
   pool : unit -> Domain_pool.t;
   par_threshold : int;
   sched : Sched_policy.t;
@@ -29,9 +32,14 @@ type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 
 (* Observation gate shared by traces and spans: clock reads and the
    child-time bookkeeping below are skipped entirely unless some
-   consumer is listening, so a production force costs no monotonic
-   clock reads (the [Trace.emit] doc promise). *)
-let observing () = Trace.enabled () || Span.enabled ()
+   consumer is listening AND the engine opted in, so a production
+   force costs no monotonic clock reads (the [Trace.emit] doc
+   promise) and an observing engine never times a silent one's
+   forces. *)
+let observing st = st.observe && (Trace.enabled () || Span.enabled ())
+
+let span_start st = if st.observe then Span.start () else Span.null
+let span_scoped st ~name f = if st.observe then Span.with_ ~name f else f ()
 
 (* ------------------------------------------------------------------ *)
 (* Backend dispatch                                                    *)
@@ -47,7 +55,7 @@ let exec_parts st (out : Ndarray.t) (parts : Plan.compiled list) =
 (* Reference counting: consume one edge from [n] to each of its
    sources; recycle producer caches whose last consumer this was.      *)
 
-let rec release_sources (n : Ir.node) =
+let rec release_sources ~pooling (n : Ir.node) =
   if not n.Ir.released then begin
     (* One-shot: a recompute of [n] (its cache was recycled and a stale
        consumer re-forced it) must not consume its source edges a
@@ -61,7 +69,7 @@ let rec release_sources (n : Ir.node) =
           match p.Ir.cache with
           | Some arr ->
               Ir.clear_cache p;
-              Mempool.recycle arr
+              Mempool.recycle ~pooling arr
           | None ->
               (* Dead without ever executing: fusion substituted every
                  read of [p] into its consumers, so no execution will
@@ -69,7 +77,7 @@ let rec release_sources (n : Ir.node) =
                  or the producers [p] reads (fusion-materialised arrays
                  in particular) stay pinned — and pooled buffers leak —
                  for the life of the graph. *)
-              release_sources p)
+              release_sources ~pooling p)
       | Ir.Node _ | Ir.Arr _ -> ()
     in
     let parts =
@@ -135,15 +143,8 @@ let reuse_candidate (n : Ir.node) shape (compiled : Plan.compiled list) =
     srcs
 
 (* ------------------------------------------------------------------ *)
-(* Plan cache                                                          *)
-
-type centry = CPlan of Plan.cplan | CUncacheable
-
-let plan_cache : centry Plan_cache.t = Plan_cache.create ()
-
-let cache_clear () =
-  Plan_cache.clear plan_cache;
-  Mempool.clear ()
+(* Plan cache — per-engine: [st.cache] is the owning engine's store,
+   handed down through [settings].                                     *)
 
 (* The optimisation-configuration fingerprint prefixed to every key.
    Thread count, scheduling policy and backend are deliberately
@@ -157,7 +158,9 @@ let env_of st =
 (* ------------------------------------------------------------------ *)
 (* Forcing                                                             *)
 
-let child_time = ref 0.0
+(* Per-domain (DLS, not a plain ref): concurrent engines forcing from
+   separate domains each keep their own nested-force accounting. *)
+let child_time_key = Domain.DLS.new_key (fun () -> ref 0.0)
 
 (* Distinct kernel paths of a force, for the span's [kernel] attribute
    (only built when a span is active). *)
@@ -179,13 +182,13 @@ let rec force st (n : Ir.node) : Ndarray.t =
   | None -> (
       match Plan_cache.key_of_graph ~env:(env_of st) ~fold:st.fusion.Fusion.fold n with
       | None ->
-          Plan_cache.note_uncacheable ();
+          Plan_cache.note_uncacheable st.cache;
           force_slow st n None
       | Some (key, bindings) -> (
-          match Plan_cache.find plan_cache key with
-          | Some (CPlan p) -> force_replay st n p bindings
-          | Some CUncacheable ->
-              Plan_cache.note_uncacheable ();
+          match Plan_cache.find st.cache key with
+          | Some (Plan.Cached p) -> force_replay st n p bindings
+          | Some Plan.Uncacheable ->
+              Plan_cache.note_uncacheable st.cache;
               force_slow st n None
           | None -> force_slow st n (Some (key, bindings))))
 
@@ -194,8 +197,9 @@ and force_source st = function Ir.Arr a -> a | Ir.Node n -> force st n
 (* The cached fast path: bind the plan's slots to this graph's buffers
    (forcing producers on demand) and run the stored loop nests. *)
 and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) : Ndarray.t =
-  let timed = observing () in
-  let sp = Span.start () in
+  let timed = observing st in
+  let sp = span_start st in
+  let child_time = Domain.DLS.get child_time_key in
   let saved_child = !child_time in
   if timed then child_time := 0.0;
   let t0 = if timed then Clock.now () else 0.0 in
@@ -213,21 +217,21 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
   let inplace = ref false in
   let out =
     match p.Plan.cmode with
-    | Plan.OFresh -> Mempool.alloc shape
+    | Plan.OFresh -> Mempool.alloc ~pooling:st.pooling shape
     | Plan.OFill d ->
-        let out = Mempool.alloc shape in
+        let out = Mempool.alloc ~pooling:st.pooling shape in
         Ndarray.fill out d;
         out
     | Plan.OBlit i ->
         let base = force_source st bindings.(i) in
         memo.(i) <- Some base.Ndarray.data;
-        let out = Mempool.alloc shape in
+        let out = Mempool.alloc ~pooling:st.pooling shape in
         Ndarray.blit ~src:base ~dst:out;
         out
     | Plan.OComplement (i, lb, ub) ->
         let base = force_source st bindings.(i) in
         memo.(i) <- Some base.Ndarray.data;
-        let out = Mempool.alloc shape in
+        let out = Mempool.alloc ~pooling:st.pooling shape in
         Lower.copy_complement base out lb ub;
         out
     | Plan.OSteal i -> (
@@ -259,7 +263,7 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
             Mempool.note_reuse ();
             inplace := true;
             arr
-        | _ -> Mempool.alloc shape)
+        | _ -> Mempool.alloc ~pooling:st.pooling shape)
   in
   let parts =
     Array.to_list
@@ -270,8 +274,8 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
   in
   exec_parts st out parts;
   Ir.set_cache n out;
-  release_sources n;
-  Plan_cache.note_hit ~saved:p.Plan.ccompile;
+  release_sources ~pooling:st.pooling n;
+  Plan_cache.note_hit st.cache ~saved:p.Plan.ccompile;
   if timed then begin
     let total = Clock.now () -. t0 in
     let self = total -. !child_time in
@@ -301,8 +305,9 @@ and force_replay st (n : Ir.node) (p : Plan.cplan) (bindings : Ir.source array) 
 (* The full pipeline; when [record] carries this graph's key and
    bindings, the compiled result is stored for later replays. *)
 and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : Ndarray.t =
-  let timed = observing () in
-  let sp = Span.start () in
+  let timed = observing st in
+  let sp = span_start st in
+  let child_time = Domain.DLS.get child_time_key in
   let saved_child = !child_time in
   if timed then child_time := 0.0;
   let t0 = if timed then Clock.now () else 0.0 in
@@ -367,7 +372,7 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
   let cstart = Clock.now () in
   let child0 = !child_time in
   let parts =
-    Span.with_ ~name:"wl:fusion" (fun () ->
+    span_scoped st ~name:"wl:fusion" (fun () ->
         List.concat_map
           (fun (p : Ir.part) -> Fusion.optimize st.fusion ~force:(force st) p.Ir.gen p.Ir.body)
           raw_parts)
@@ -414,12 +419,12 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
               end;
               Mempool.note_reuse ();
               arr
-          | None -> Mempool.alloc shape
+          | None -> Mempool.alloc ~pooling:st.pooling shape
         end
         else begin
           match (base_arr, base_src) with
           | Some base, Some src ->
-              let out = Mempool.alloc shape in
+              let out = Mempool.alloc ~pooling:st.pooling shape in
               (match compiled with
               | [ c ] when Generator.is_dense (Plan.compiled_gen c) ->
                   (* Non-lowered modarray with one dense part: only
@@ -433,7 +438,7 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
                   record_mode src (fun i -> Plan.OBlit i));
               out
           | _ ->
-              let out = Mempool.alloc shape in
+              let out = Mempool.alloc ~pooling:st.pooling shape in
               Ndarray.fill out default;
               mode := Plan.OFill default;
               out
@@ -453,18 +458,18 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
       in
       match entry with
       | Some p ->
-          Plan_cache.add plan_cache key (CPlan p);
-          Plan_cache.note_miss ();
+          Plan_cache.add st.cache key (Plan.Cached p);
+          Plan_cache.note_miss st.cache;
           outcome := "miss"
       | None ->
-          Plan_cache.add plan_cache key CUncacheable;
-          Plan_cache.note_uncacheable ());
+          Plan_cache.add st.cache key Plan.Uncacheable;
+          Plan_cache.note_uncacheable st.cache);
   (* Only now may the reused operand forget its (overwritten) buffer:
      the assembly above resolved the identity clusters through its
      cache, and [release_sources] must not recycle a buffer that is
      live as [n]'s value. *)
   (match !reused with Some p -> Ir.clear_cache p | None -> ());
-  release_sources n;
+  release_sources ~pooling:st.pooling n;
   if timed then begin
     let total = Clock.now () -. t0 in
     let self = total -. !child_time in
@@ -504,13 +509,14 @@ let apply_op = function
   | Fcustom f -> f
 
 let eval_fold st ~op ~neutral gen body =
-  let timed = observing () in
-  let sp = Span.start () in
+  let timed = observing st in
+  let sp = span_start st in
+  let child_time = Domain.DLS.get child_time_key in
   let saved_child = !child_time in
   if timed then child_time := 0.0;
   let t0 = if timed then Clock.now () else 0.0 in
   let parts =
-    Span.with_ ~name:"wl:fusion" (fun () ->
+    span_scoped st ~name:"wl:fusion" (fun () ->
         Fusion.optimize st.fusion ~force:(force st) gen body)
   in
   let f = apply_op op in

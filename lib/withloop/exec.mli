@@ -19,10 +19,13 @@
     Kernel-path dispatch counts live in {!Kernel.counters} /
     {!Mg_obs.Metrics} ([kernel.*]).
 
-    Compiled parts are memoised in a process-wide {!Plan_cache}: the
-    second and later forces of a structurally identical graph skip the
-    optimisation pipeline and replay the stored loop nests against
-    freshly bound buffers. *)
+    Compiled parts are memoised in the engine's {!Plan_cache} (the
+    [cache] field of {!settings}): the second and later forces of a
+    structurally identical graph skip the optimisation pipeline and
+    replay the stored loop nests against freshly bound buffers.  The
+    executor holds no module-level mutable state of its own — every
+    per-solve knob arrives through {!settings}, so concurrent engines
+    on separate domains never interfere. *)
 
 open Mg_ndarray
 
@@ -44,6 +47,18 @@ type settings = {
           operand's buffer instead of drawing from {!Mempool} (on at
           [O2]+ via {!Wl.settings}; [mempool.reuse_hits] counts the
           aliasing events). *)
+  pooling : bool;
+      (** Draw buffers from {!Mempool} arenas; [false] degrades every
+          allocation to a plain [create_uninit] (the engine-level
+          mirror of the [MG_POOLING] kill-switch). *)
+  observe : bool;
+      (** Engine-level observation gate: [false] skips trace/span
+          emission and their clock reads even when the process-wide
+          {!Mg_smp.Trace}/{!Mg_obs.Span} switches are on, so a silent
+          engine adds no noise to a concurrent observed one. *)
+  cache : Plan.cache_entry Plan_cache.t;
+      (** The owning engine's plan store ({!Plan.Cached} compiled
+          plans, {!Plan.Uncacheable} negative entries). *)
   pool : unit -> Mg_smp.Domain_pool.t;
   par_threshold : int;
       (** Minimum index-space cardinality before a part is run in
@@ -59,10 +74,6 @@ type settings = {
 
 val force : settings -> Ir.node -> Ndarray.t
 (** Idempotent: cached after the first call. *)
-
-val cache_clear : unit -> unit
-(** Drop every stored plan and pooled buffer (statistics are left
-    untouched — use {!Plan_cache.reset_stats}). *)
 
 type fold_op = Fadd | Fmul | Fmax | Fmin | Fcustom of (float -> float -> float)
 

@@ -31,12 +31,13 @@ and spec =
 
 and part = { gen : Generator.t; body : expr }
 
-let counter = ref 0
-let reset_ids () = counter := 0
-
-let next_id () =
-  incr counter;
-  !counter
+(* Atomic so graphs may be built from several domains at once
+   (concurrent engines); ids are only required to be unique per graph,
+   but strict global monotonicity is cheap and simpler to reason
+   about. *)
+let counter = Atomic.make 0
+let reset_ids () = Atomic.set counter 0
+let next_id () = 1 + Atomic.fetch_and_add counter 1
 
 let source_shape = function Arr a -> Ndarray.shape a | Node n -> n.nshape
 

@@ -55,6 +55,7 @@ type arena = {
   mutable trail : Ndarray.buffer array;
   mutable trail_len : int;
   mutable marks : int array;
+  mutable owners : int array;  (* engine id per mark; -1 = anonymous *)
   mutable nmarks : int;
   (* counters: written by the owning domain only, read by any domain *)
   st_reused : int Atomic.t;
@@ -114,6 +115,7 @@ let new_arena () =
       trail = [||];
       trail_len = 0;
       marks = [||];
+      owners = [||];
       nmarks = 0;
       st_reused = Atomic.make 0;
       st_recycled = Atomic.make 0;
@@ -267,9 +269,13 @@ let trail_push a b =
   a.trail.(a.trail_len) <- b;
   a.trail_len <- a.trail_len + 1
 
-let alloc shape =
+(* [?pooling] lets an engine carry its own pooling decision through
+   the executor (per-engine config); absent, the process atomic — the
+   MG_POOLING kill-switch — decides, as for direct callers. *)
+let alloc ?pooling:(p : bool option) shape =
   let len = Shape.num_elements shape in
-  if len = 0 || not (Atomic.get pooling) then begin
+  let pooled = match p with Some b -> b | None -> Atomic.get pooling in
+  if len = 0 || not pooled then begin
     Mg_obs.Metrics.add c_alloc_bytes (8 * len);
     Ndarray.create_uninit shape
   end
@@ -294,9 +300,10 @@ let in_pending a b =
   let rec scan i = i < a.trail_len && (a.trail.(i) == b || scan (i + 1)) in
   scan 0
 
-let recycle (arr : Ndarray.t) =
+let recycle ?pooling:(p : bool option) (arr : Ndarray.t) =
   let len = Ndarray.size arr in
-  if len > 0 && Atomic.get pooling then begin
+  let pooled = match p with Some b -> b | None -> Atomic.get pooling in
+  if len > 0 && pooled then begin
     let a = arena () in
     let b = arr.Ndarray.data in
     if Atomic.get debug && (in_free_slot a b || in_pending a b) then
@@ -310,20 +317,36 @@ let recycle (arr : Ndarray.t) =
 
 (* {2 Scopes} *)
 
-let mark () =
+(* Scopes are keyed engine×domain: the trail lives on the calling
+   domain's arena, and [?owner] tags each mark with the engine that
+   opened it.  Under debug, a [reset] whose owner differs from the
+   mark's trips — the guard for interleaved scopes of two engines on
+   one domain, which would flush each other's pending buffers. *)
+let mark ?(owner = -1) () =
   let a = arena () in
   if a.nmarks = Array.length a.marks then begin
-    let nm = Array.make (max 8 (2 * Array.length a.marks)) 0 in
+    let cap = max 8 (2 * Array.length a.marks) in
+    let nm = Array.make cap 0 in
     Array.blit a.marks 0 nm 0 a.nmarks;
-    a.marks <- nm
+    a.marks <- nm;
+    let no = Array.make cap (-1) in
+    Array.blit a.owners 0 no 0 a.nmarks;
+    a.owners <- no
   end;
   a.marks.(a.nmarks) <- a.trail_len;
+  a.owners.(a.nmarks) <- owner;
   a.nmarks <- a.nmarks + 1
 
-let reset () =
+let reset ?(owner = -1) () =
   let a = arena () in
   if a.nmarks > 0 then begin
     a.nmarks <- a.nmarks - 1;
+    (if Atomic.get debug then
+       let o = a.owners.(a.nmarks) in
+       if o >= 0 && owner >= 0 && o <> owner then
+         failwith
+           (Printf.sprintf "Mempool: scope owner mismatch (opened by engine %d, reset by %d)" o
+              owner));
     let base = a.marks.(a.nmarks) in
     for i = a.trail_len - 1 downto base do
       let b = a.trail.(i) in
@@ -337,9 +360,9 @@ let reset () =
     a.trail_len <- base
   end
 
-let with_scope f =
-  mark ();
-  Fun.protect ~finally:reset f
+let with_scope ?owner f =
+  mark ?owner ();
+  Fun.protect ~finally:(fun () -> reset ?owner ()) f
 
 let scope_depth () = (arena ()).nmarks
 

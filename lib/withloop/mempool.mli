@@ -42,16 +42,18 @@
 
 open Mg_ndarray
 
-val alloc : Shape.t -> Ndarray.t
+val alloc : ?pooling:bool -> Shape.t -> Ndarray.t
 (** A (possibly recycled, uninitialised) array of the given shape,
-    drawn from the calling domain's arena. *)
+    drawn from the calling domain's arena.  [?pooling] carries the
+    calling engine's configuration; when omitted the process-wide
+    kill-switch default ({!set_pooling}) decides. *)
 
-val recycle : Ndarray.t -> unit
+val recycle : ?pooling:bool -> Ndarray.t -> unit
 (** Return a dead buffer to the calling domain's arena.  The caller
     must guarantee no live reference to the array remains; at most
     {!max_per_class} buffers are kept per size class.  Inside an
     active scope this is deferred: the buffer sits on the scope trail
-    and {!reset} reclaims it. *)
+    and {!reset} reclaims it.  [?pooling] as for {!alloc}. *)
 
 val clear : unit -> unit
 (** Drop every pooled buffer in every arena and zero the {!stats}
@@ -80,15 +82,20 @@ val max_per_class : int
 
 (** {1 Scopes} *)
 
-val mark : unit -> unit
-(** Open a scope on the calling domain's arena. *)
+val mark : ?owner:int -> unit -> unit
+(** Open a scope on the calling domain's arena.  [?owner] tags the
+    mark with the opening engine's id (scopes are keyed engine×domain);
+    anonymous when omitted. *)
 
-val reset : unit -> unit
+val reset : ?owner:int -> unit -> unit
 (** Close the innermost scope: flush every {!recycle} deferred since
     the matching {!mark} into the free slots (under {!set_debug},
-    poisoning each with NaNs first).  No-op without an open scope. *)
+    poisoning each with NaNs first).  No-op without an open scope.
+    Under {!set_debug}, fails if both the mark's recorded owner and
+    [?owner] are given and differ — the tripwire for two engines
+    interleaving scopes on one domain. *)
 
-val with_scope : (unit -> 'a) -> 'a
+val with_scope : ?owner:int -> (unit -> 'a) -> 'a
 (** [mark]; run; [reset] (also on exceptions). *)
 
 val scope_depth : unit -> int

@@ -244,3 +244,8 @@ let assemble ~(bindings : Ir.source array) ~mode ~elements ~compile_cost compile
         ccompile = compile_cost;
       }
   else None
+
+(* What an engine's plan cache stores per structural key: a replayable
+   plan, or a tombstone recording that this key's graph cannot be
+   assembled (so later forces skip the assembly attempt). *)
+type cache_entry = Cached of cplan | Uncacheable

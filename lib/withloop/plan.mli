@@ -100,3 +100,8 @@ val assemble :
     to its binding slot and strip the templates.  [None] when a part
     stayed on the closure path or a buffer is no binding's (the force
     is uncacheable).  Must run while producer caches are alive. *)
+
+type cache_entry = Cached of cplan | Uncacheable
+(** One {!Plan_cache} slot of an engine: a stored plan, or a tombstone
+    for a key whose graph failed {!assemble} (replays skip the
+    assembly attempt instead of re-failing it every force). *)

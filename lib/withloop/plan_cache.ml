@@ -10,15 +10,17 @@ type stats = {
   saved_seconds : float;
 }
 
-(* Backed by the metrics registry, so the cache shows up in metric
-   dumps (profile report, bench JSON) without separate plumbing. *)
+(* The process-wide aggregate, backed by the metrics registry so the
+   cache shows up in metric dumps (profile report, bench JSON) without
+   separate plumbing.  Per-instance figures live on each [t] below;
+   every note_* bumps both. *)
 let c_hits = Metrics.counter "plan_cache.hits"
 let c_misses = Metrics.counter "plan_cache.misses"
 let c_evictions = Metrics.counter "plan_cache.evictions"
 let c_uncacheable = Metrics.counter "plan_cache.uncacheable"
 let g_saved = Metrics.gauge "plan_cache.saved_seconds"
 
-let stats () =
+let global_stats () =
   { hits = Metrics.value c_hits;
     misses = Metrics.value c_misses;
     evictions = Metrics.value c_evictions;
@@ -26,26 +28,16 @@ let stats () =
     saved_seconds = Metrics.gauge_value g_saved;
   }
 
-let reset_stats () =
-  List.iter (fun c -> Metrics.set_counter c 0) [ c_hits; c_misses; c_evictions; c_uncacheable ];
-  Metrics.set_gauge g_saved 0.0
-
-let note_hit ~saved:s =
-  Metrics.incr c_hits;
-  Metrics.add_gauge g_saved s;
-  Span.instant ~name:"plan-cache:hit" ()
-
-let note_miss () =
-  Metrics.incr c_misses;
-  Span.instant ~name:"plan-cache:miss" ()
-
-let note_eviction () = Metrics.incr c_evictions
-let note_uncacheable () = Metrics.incr c_uncacheable
-
 (* ------------------------------------------------------------------ *)
 (* Keyed store with LRU eviction.  Recency is a logical tick; eviction
    scans — capacity is small and overflow rare, so O(n) eviction beats
-   maintaining an intrusive list. *)
+   maintaining an intrusive list.  Each instance carries its own
+   statistics and a mutex: a cache belongs to one engine, and an
+   engine may be driven from several domains (or one engine's plans
+   replayed while another domain compiles into the same store), so
+   every store/stat operation is serialised per instance.  The lock is
+   uncontended in the common one-engine-per-domain regime — one
+   ownerless futex acquisition per force. *)
 
 type 'a entry = { value : 'a; mutable last : int }
 
@@ -53,18 +45,46 @@ type 'a t = {
   tbl : (string, 'a entry) Hashtbl.t;
   capacity : int;
   mutable tick : int;
+  m : Mutex.t;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_uncacheable : int;
+  mutable s_saved : float;
 }
 
-let create ?(capacity = 512) () = { tbl = Hashtbl.create 64; capacity; tick = 0 }
+let create ?(capacity = 512) () =
+  { tbl = Hashtbl.create 64;
+    capacity;
+    tick = 0;
+    m = Mutex.create ();
+    s_hits = 0;
+    s_misses = 0;
+    s_evictions = 0;
+    s_uncacheable = 0;
+    s_saved = 0.0;
+  }
+
+let locked c f =
+  Mutex.lock c.m;
+  match f () with
+  | v ->
+      Mutex.unlock c.m;
+      v
+  | exception e ->
+      Mutex.unlock c.m;
+      raise e
 
 let find c key =
-  match Hashtbl.find_opt c.tbl key with
-  | None -> None
-  | Some e ->
-      c.tick <- c.tick + 1;
-      e.last <- c.tick;
-      Some e.value
+  locked c (fun () ->
+      match Hashtbl.find_opt c.tbl key with
+      | None -> None
+      | Some e ->
+          c.tick <- c.tick + 1;
+          e.last <- c.tick;
+          Some e.value)
 
+(* Called under the instance lock (from [add]). *)
 let evict_lru c =
   let victim =
     Hashtbl.fold
@@ -78,15 +98,51 @@ let evict_lru c =
   | None -> ()
   | Some (k, _) ->
       Hashtbl.remove c.tbl k;
-      note_eviction ()
+      c.s_evictions <- c.s_evictions + 1;
+      Metrics.incr c_evictions
 
 let add c key value =
-  if not (Hashtbl.mem c.tbl key) && Hashtbl.length c.tbl >= c.capacity then evict_lru c;
-  c.tick <- c.tick + 1;
-  Hashtbl.replace c.tbl key { value; last = c.tick }
+  locked c (fun () ->
+      if not (Hashtbl.mem c.tbl key) && Hashtbl.length c.tbl >= c.capacity then evict_lru c;
+      c.tick <- c.tick + 1;
+      Hashtbl.replace c.tbl key { value; last = c.tick })
 
-let clear c = Hashtbl.reset c.tbl
-let length c = Hashtbl.length c.tbl
+let clear c = locked c (fun () -> Hashtbl.reset c.tbl)
+let length c = locked c (fun () -> Hashtbl.length c.tbl)
+
+let stats c =
+  locked c (fun () ->
+      { hits = c.s_hits;
+        misses = c.s_misses;
+        evictions = c.s_evictions;
+        uncacheable = c.s_uncacheable;
+        saved_seconds = c.s_saved;
+      })
+
+let reset_stats c =
+  locked c (fun () ->
+      c.s_hits <- 0;
+      c.s_misses <- 0;
+      c.s_evictions <- 0;
+      c.s_uncacheable <- 0;
+      c.s_saved <- 0.0)
+
+let note_hit c ~saved:s =
+  locked c (fun () ->
+      c.s_hits <- c.s_hits + 1;
+      c.s_saved <- c.s_saved +. s);
+  Metrics.incr c_hits;
+  Metrics.add_gauge g_saved s;
+  Span.instant ~name:"plan-cache:hit" ()
+
+let note_miss c =
+  locked c (fun () -> c.s_misses <- c.s_misses + 1);
+  Metrics.incr c_misses;
+  Span.instant ~name:"plan-cache:miss" ()
+
+let note_uncacheable c =
+  locked c (fun () -> c.s_uncacheable <- c.s_uncacheable + 1);
+  Metrics.incr c_uncacheable
 
 (* ------------------------------------------------------------------ *)
 (* Structural keys.

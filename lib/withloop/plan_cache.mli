@@ -25,7 +25,12 @@ type stats = {
   saved_seconds : float;  (** Sum of the compile times hits skipped. *)
 }
 
-(** {1 Keyed store} *)
+(** {1 Keyed store}
+
+    Each instance belongs to one engine and carries its own statistics.
+    All operations are serialised by an internal per-instance mutex, so
+    one cache may be shared by engines driven from different domains
+    (the lock is uncontended in the one-engine-per-domain regime). *)
 
 type 'a t
 
@@ -36,6 +41,9 @@ val create : ?capacity:int -> unit -> 'a t
 val find : 'a t -> string -> 'a option
 val add : 'a t -> string -> 'a -> unit
 val clear : 'a t -> unit
+(** Drop every entry (statistics are left untouched — use
+    {!reset_stats}). *)
+
 val length : 'a t -> int
 
 (** {1 Structural keys} *)
@@ -53,12 +61,20 @@ val key_of_graph : env:string -> fold:bool -> Ir.node -> (string * Ir.source arr
     buffer addresses.  [None] when the walk encounters an {!Ir.Opaque}
     body (opaque closures have no structural identity). *)
 
-(** {1 Statistics} *)
+(** {1 Statistics}
 
-val stats : unit -> stats
-val reset_stats : unit -> unit
+    Per-instance counters, plus a process-wide aggregate mirrored into
+    {!Mg_obs.Metrics} ([plan_cache.*]) so caches appear in metric dumps
+    without separate plumbing.  Every [note_*] bumps both. *)
 
-val note_hit : saved:float -> unit
-val note_miss : unit -> unit
-val note_eviction : unit -> unit
-val note_uncacheable : unit -> unit
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit
+
+val global_stats : unit -> stats
+(** The process-wide aggregate across every cache instance since
+    start-up (backed by the metrics registry; {!reset_stats} does not
+    touch it). *)
+
+val note_hit : 'a t -> saved:float -> unit
+val note_miss : 'a t -> unit
+val note_uncacheable : 'a t -> unit

@@ -2,7 +2,7 @@ open Mg_ndarray
 
 type t = Ir.source
 
-type opt_level = O0 | O1 | O2 | O3
+type opt_level = Engine.opt_level = O0 | O1 | O2 | O3
 
 (* The engine allocates one Bigarray per materialised with-loop.  The
    default GC accounting for custom blocks schedules a major slice
@@ -10,180 +10,122 @@ type opt_level = O0 | O1 | O2 | O3
    not computation — dominate small grids.  SAC's runtime ships its
    own free-list allocator for exactly this reason (§5 of the paper);
    our analogue is relaxed custom-block ratios, set once when the
-   engine is first used. *)
-let tune_gc =
-  lazy
-    (let g = Gc.get () in
-     Gc.set
-       { g with
-         Gc.custom_major_ratio = 300;
-         custom_minor_ratio = 300;
-         custom_minor_max_size = 1 lsl 16;
-         space_overhead = 200;
-       })
+   engine is first used.  An Atomic exchange, not Lazy: concurrent
+   engines may force from two fresh domains at once, and Lazy.force
+   is not domain-safe. *)
+let gc_tuned = Atomic.make false
 
-let opt_level = ref O3
-let par_threshold = ref 16384
-let split_threshold = ref 2048
-let line_buffers = ref true
-let sched_policy = ref Mg_smp.Sched_policy.default
-let backend = ref Backend.default
+let tune_gc () =
+  if not (Atomic.exchange gc_tuned true) then begin
+    let g = Gc.get () in
+    Gc.set
+      { g with
+        Gc.custom_major_ratio = 300;
+        custom_minor_ratio = 300;
+        custom_minor_max_size = 1 lsl 16;
+        space_overhead = 200;
+      }
+  end
 
-let set_sched_policy p = sched_policy := p
-let get_sched_policy () = !sched_policy
+(* ------------------------------------------------------------------ *)
+(* Compat shim over the engine API.
+   get_* read the calling domain's current engine (so they observe the
+   scoped with_* combinators, as they observed the globals before);
+   set_* mutate the default engine — a hard error under
+   MG_ENGINE_STRICT=1.  with_* derive a reconfigured engine and
+   install it for the extent of the thunk: no mutation anywhere, so
+   they are strict-safe and concurrency-safe. *)
 
-let with_sched_policy p f =
-  let saved = !sched_policy in
-  sched_policy := p;
-  match f () with
-  | r ->
-      sched_policy := saved;
-      r
-  | exception e ->
-      sched_policy := saved;
-      raise e
+let cfg () = Engine.config (Engine.current ())
+let with_config f k = Engine.with_current (Engine.derive (Engine.current ()) f) k
+let with_engine = Engine.with_current
 
-let set_backend b = backend := b
-let get_backend () = !backend
+let set_opt_level l = Engine.update_default ~shim:"Wl.set_opt_level" (fun c -> { c with Engine.opt_level = l })
+let get_opt_level () = (cfg ()).Engine.opt_level
+let with_opt_level l f = with_config (fun c -> { c with Engine.opt_level = l }) f
 
-let with_backend b f =
-  let saved = !backend in
-  backend := b;
-  match f () with
-  | r ->
-      backend := saved;
-      r
-  | exception e ->
-      backend := saved;
-      raise e
+let set_threads n = Engine.update_default ~shim:"Wl.set_threads" (fun c -> { c with Engine.threads = n })
+let get_threads () = (cfg ()).Engine.threads
+let with_threads n f = with_config (fun c -> { c with Engine.threads = n }) f
 
-(* Observation (span recording) delegates to the Mg_obs switch so the
-   executor's fast path tests exactly one atomic flag. *)
-let set_observe b = Mg_obs.Span.set_enabled b
-let get_observe () = Mg_obs.Span.enabled ()
-let with_observe b f = Mg_obs.Span.with_enabled b f
+let set_par_threshold n =
+  Engine.update_default ~shim:"Wl.set_par_threshold" (fun c -> { c with Engine.par_threshold = n })
 
-let set_line_buffers b = line_buffers := b
-let get_line_buffers () = !line_buffers
+let get_par_threshold () = (cfg ()).Engine.par_threshold
+let with_par_threshold n f = with_config (fun c -> { c with Engine.par_threshold = n }) f
 
-let with_line_buffers b f =
-  let saved = !line_buffers in
-  line_buffers := b;
-  match f () with
-  | r ->
-      line_buffers := saved;
-      r
-  | exception e ->
-      line_buffers := saved;
-      raise e
+let set_split_threshold n =
+  Engine.update_default ~shim:"Wl.set_split_threshold" (fun c -> { c with Engine.split_threshold = n })
 
-let cfun = ref true
+let get_split_threshold () = (cfg ()).Engine.split_threshold
+let with_split_threshold n f = with_config (fun c -> { c with Engine.split_threshold = n }) f
 
-let set_cfun b = cfun := b
-let get_cfun () = !cfun
+let set_line_buffers b =
+  Engine.update_default ~shim:"Wl.set_line_buffers" (fun c -> { c with Engine.line_buffers = b })
 
-let with_cfun b f =
-  let saved = !cfun in
-  cfun := b;
-  match f () with
-  | r ->
-      cfun := saved;
-      r
-  | exception e ->
-      cfun := saved;
-      raise e
+let get_line_buffers () = (cfg ()).Engine.line_buffers
+let with_line_buffers b f = with_config (fun c -> { c with Engine.line_buffers = b }) f
 
-let reuse = ref true
+let set_cfun b = Engine.update_default ~shim:"Wl.set_cfun" (fun c -> { c with Engine.cfun = b })
+let get_cfun () = (cfg ()).Engine.cfun
+let with_cfun b f = with_config (fun c -> { c with Engine.cfun = b }) f
 
-let set_reuse b = reuse := b
-let get_reuse () = !reuse
+let set_reuse b = Engine.update_default ~shim:"Wl.set_reuse" (fun c -> { c with Engine.reuse = b })
+let get_reuse () = (cfg ()).Engine.reuse
+let with_reuse b f = with_config (fun c -> { c with Engine.reuse = b }) f
 
-let with_reuse b f =
-  let saved = !reuse in
-  reuse := b;
-  match f () with
-  | r ->
-      reuse := saved;
-      r
-  | exception e ->
-      reuse := saved;
-      raise e
+let set_sched_policy p =
+  Engine.update_default ~shim:"Wl.set_sched_policy" (fun c -> { c with Engine.sched = p })
 
-(* Arena pooling delegates to Mempool's process switch (also settable
-   via MG_POOLING) rather than a Wl-local ref: the kill-switch must
-   reach allocations made from worker domains too. *)
-let set_pooling = Mempool.set_pooling
-let get_pooling = Mempool.get_pooling
+let get_sched_policy () = (cfg ()).Engine.sched
+let with_sched_policy p f = with_config (fun c -> { c with Engine.sched = p }) f
+
+let set_backend b = Engine.update_default ~shim:"Wl.set_backend" (fun c -> { c with Engine.backend = b })
+let get_backend () = (cfg ()).Engine.backend
+let with_backend b f = with_config (fun c -> { c with Engine.backend = b }) f
+
+(* Pooling is both an engine flag and a process kill-switch: the
+   atomic default must reach Mempool calls made outside any engine
+   (worker domains, direct test probes), so the setter and the scoped
+   combinator keep it in sync with the engine config. *)
+let set_pooling b =
+  Engine.update_default ~shim:"Wl.set_pooling" (fun c -> { c with Engine.pooling = b });
+  Mempool.set_pooling b
+
+let get_pooling () = (cfg ()).Engine.pooling
 
 let with_pooling b f =
   let saved = Mempool.get_pooling () in
   Mempool.set_pooling b;
-  match f () with
-  | r ->
-      Mempool.set_pooling saved;
-      r
-  | exception e ->
-      Mempool.set_pooling saved;
-      raise e
+  Fun.protect
+    ~finally:(fun () -> Mempool.set_pooling saved)
+    (fun () -> with_config (fun c -> { c with Engine.pooling = b }) f)
 
-let with_pool_scope f = Mempool.with_scope f
+(* Observation: the process-wide span switch stays the primary gate
+   (it must reach worker domains); the engine's [observe] flag is the
+   per-engine veto consumed by Exec. *)
+let set_observe b = Mg_obs.Span.set_enabled b
+let get_observe () = Mg_obs.Span.enabled ()
+
+let with_observe b f =
+  Mg_obs.Span.with_enabled b (fun () -> with_config (fun c -> { c with Engine.observe = b }) f)
+
+let with_pool_scope f = Mempool.with_scope ~owner:(Engine.id (Engine.current ())) f
 
 let set_kernel_timing b = Kernel.set_timing b
 let get_kernel_timing () = Kernel.get_timing ()
 
-let set_split_threshold n = split_threshold := n
-let get_split_threshold () = !split_threshold
+let settings () : Exec.settings = Engine.settings (Engine.current ())
 
-let set_opt_level l = opt_level := l
-let get_opt_level () = !opt_level
-
-let with_opt_level l f =
-  let saved = !opt_level in
-  opt_level := l;
-  match f () with
-  | r ->
-      opt_level := saved;
-      r
-  | exception e ->
-      opt_level := saved;
-      raise e
-
-let set_threads n = Mg_smp.Domain_pool.set_global_size n
-let get_threads () = Mg_smp.Domain_pool.size (Mg_smp.Domain_pool.get_global ())
-let set_par_threshold n = par_threshold := n
-
-let settings () : Exec.settings =
-  let t = !split_threshold in
-  (* Staged kernel compilation and buffer reuse join at O2, like
-     folding: O0/O1 keep the interpreted generic nest and fresh
-     allocations so the ablation harness can isolate each
-     optimisation. *)
-  let fusion, factor, cfun_on, reuse_on =
-    match !opt_level with
-    | O0 ->
-        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false, false, false)
-    | O1 ->
-        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true, false, false)
-    | O2 -> ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true, !cfun, !reuse)
-    | O3 -> ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true, !cfun, !reuse)
-  in
-  { Exec.fusion;
-    factor;
-    line_buffers = !line_buffers;
-    cfun = cfun_on;
-    reuse = reuse_on;
-    pool = Mg_smp.Domain_pool.get_global;
-    par_threshold = !par_threshold;
-    sched = !sched_policy;
-    backend = !backend;
-  }
+(* ------------------------------------------------------------------ *)
+(* The DSL                                                             *)
 
 let of_ndarray a = Ir.Arr a
 
 let force : t -> Ndarray.t = function
   | Ir.Arr a -> a
   | Ir.Node n ->
-      Lazy.force tune_gc;
+      tune_gc ();
       Ir.mark_escaped n;
       let a = Exec.force (settings ()) n in
       (* The result leaves the engine: exempt it from any active arena
@@ -201,7 +143,7 @@ let force : t -> Ndarray.t = function
 let materialize : t -> t = function
   | Ir.Arr _ as s -> s
   | Ir.Node n as s ->
-      Lazy.force tune_gc;
+      tune_gc ();
       let a = Exec.force (settings ()) n in
       (* Loop-carried: the buffer outlives the current arena scope but
          stays pool-owned, so its reclamation is deferred to the
@@ -246,17 +188,8 @@ let modarray ?barrier base parts : t = Ir.Node (Ir.modarray ?barrier base (to_pa
 
 let fold ~op ~neutral gen body = Exec.eval_fold (settings ()) ~op ~neutral gen body
 
-let cache_stats () = Plan_cache.stats ()
+let cache_stats () = Engine.cache_stats (Engine.current ())
+let cache_clear () = Engine.cache_clear (Engine.current ())
 
-let cache_clear () =
-  Exec.cache_clear ();
-  Plan_cache.reset_stats ()
-
-let opt_level_of_string = function
-  | "O0" | "o0" | "0" -> Some O0
-  | "O1" | "o1" | "1" -> Some O1
-  | "O2" | "o2" | "2" -> Some O2
-  | "O3" | "o3" | "3" -> Some O3
-  | _ -> None
-
-let opt_level_to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"
+let opt_level_of_string = Engine.opt_level_of_string
+let opt_level_to_string = Engine.opt_level_to_string

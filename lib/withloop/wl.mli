@@ -7,9 +7,16 @@
     SAC with-loop operators of Fig. 1 of the paper map to {!genarray},
     {!modarray} and {!fold}.
 
-    Global knobs mirror sac2c command-line options: the optimisation
-    level, the number of execution threads, and the minimum with-loop
-    size for parallel execution. *)
+    Configuration lives in an explicit {!Engine.t} (see that module):
+    {!force} consults the calling domain's current engine, so the
+    solve hot path reads no [Wl] global.  The [set_*]/[get_*] API
+    below mirrors sac2c command-line options and survives as a compat
+    shim — [set_*] mutate the {!Engine.default} engine (a hard error
+    under [MG_ENGINE_STRICT=1]), [get_*] read the current engine, and
+    the scoped [with_*] combinators derive a reconfigured engine for
+    the extent of a thunk without mutating anything.  New code should
+    pass an engine explicitly ([Driver.run ?engine] /
+    {!with_engine}). *)
 
 open Mg_ndarray
 
@@ -84,25 +91,37 @@ val fold_reference : op:Exec.fold_op -> neutral:float -> Generator.t -> Expr.e -
 (** Reference evaluation of {!fold} (row-major per-element tree walk,
     see {!run_reference}). *)
 
-(** {1 Compiler configuration} *)
+(** {1 Compiler configuration}
 
-type opt_level =
+    The compat shim over {!Engine} (see the header comment). *)
+
+type opt_level = Engine.opt_level =
   | O0  (** Materialise everything; one multiplication per stencil term. *)
   | O1  (** + coefficient factoring (27 mults → 4 for NAS-MG stencils). *)
   | O2  (** + with-loop folding (producer substitution, range splits). *)
   | O3  (** + residue-class generator splitting for strided producers. *)
+
+val with_engine : Engine.t -> (unit -> 'a) -> 'a
+(** Run a thunk with an explicit engine as the calling domain's
+    current one (= {!Engine.with_current}) — the strict-safe way to
+    select a configuration. *)
 
 val set_opt_level : opt_level -> unit
 val get_opt_level : unit -> opt_level
 val with_opt_level : opt_level -> (unit -> 'a) -> 'a
 
 val set_threads : int -> unit
-(** Size of the global domain pool used by forced with-loops. *)
+(** Execution-pool size used by forced with-loops (the engine's pool
+    is resized lazily, on the next force). *)
 
 val get_threads : unit -> int
+val with_threads : int -> (unit -> 'a) -> 'a
 
 val set_par_threshold : int -> unit
 (** Minimum part cardinality for parallel execution (default 16384). *)
+
+val get_par_threshold : unit -> int
+val with_par_threshold : int -> (unit -> 'a) -> 'a
 
 val set_split_threshold : int -> unit
 (** Minimum part cardinality for generator splitting during folding
@@ -110,6 +129,7 @@ val set_split_threshold : int -> unit
     Tests of the splitting machinery set this to 0. *)
 
 val get_split_threshold : unit -> int
+val with_split_threshold : int -> (unit -> 'a) -> 'a
 
 val set_line_buffers : bool -> unit
 (** Enable the line-buffered box-stencil kernel (default [true]):
@@ -202,18 +222,23 @@ val get_observe : unit -> bool
 val with_observe : bool -> (unit -> 'a) -> 'a
 
 val settings : unit -> Exec.settings
-(** The executor settings corresponding to the current globals. *)
+(** The executor settings of the calling domain's current engine
+    (= [Engine.settings (Engine.current ())]). *)
 
 (** {1 Plan cache}
 
-    Compiled with-loop plans are memoised process-wide under structural
+    Compiled with-loop plans are memoised per engine under structural
     keys (see {!Plan_cache}); repeated forces of an identical graph
     shape — every V-cycle iteration after the first — skip the
-    optimisation pipeline entirely. *)
+    optimisation pipeline entirely.  These operate on the current
+    engine's cache; engines derived by the [with_*] combinators share
+    their parent's cache, so statistics accumulate across scoped
+    reconfigurations as they did with the old process-wide cache. *)
 
 val cache_stats : unit -> Plan_cache.stats
 val cache_clear : unit -> unit
-(** Drop all cached plans and reset the statistics counters. *)
+(** Drop the current engine's cached plans and reset its statistics
+    counters (pooled buffers are released too). *)
 
 val opt_level_of_string : string -> opt_level option
 val opt_level_to_string : opt_level -> string

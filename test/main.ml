@@ -1,23 +1,22 @@
 (* MG_PROCS=n runs the whole suite with an n-domain worker pool, so CI
    can exercise the parallel executor paths with the same tests.
    MG_REUSE=0 turns the executor's buffer-reuse (in-place update) pass
-   off globally; the CI matrix runs both legs, asserting the results
-   are independent of the aliasing decisions. *)
+   off, MG_POOLING=0 the arena allocator; the CI matrix runs the legs,
+   asserting the results are independent of either.  All of them reach
+   the suite through Engine.config_of_env — the default engine is
+   built from the environment, nothing is mutated here, so the suite
+   also runs unchanged under MG_ENGINE_STRICT=1 (shim setters raise). *)
 let () =
-  (match Option.bind (Sys.getenv_opt "MG_PROCS") int_of_string_opt with
-  | Some n when n >= 1 ->
-      Printf.printf "MG_PROCS=%d: running suite with %d-domain pool\n%!" n n;
-      Mg_withloop.Wl.set_threads n
-  | _ -> ());
-  (match Sys.getenv_opt "MG_REUSE" with
-  | Some "0" ->
-      Printf.printf "MG_REUSE=0: buffer-reuse pass disabled\n%!";
-      Mg_withloop.Wl.set_reuse false
-  | _ -> ());
-  (* MG_POOLING=0 is read by Mempool itself; just make the leg visible
-     in the test log. *)
-  (if not (Mg_withloop.Wl.get_pooling ()) then
-     Printf.printf "MG_POOLING=0: arena pooling disabled\n%!");
+  let c = Mg_withloop.Engine.config (Mg_withloop.Engine.default ()) in
+  if c.Mg_withloop.Engine.threads > 1 then
+    Printf.printf "MG_PROCS=%d: running suite with %d-domain pool\n%!"
+      c.Mg_withloop.Engine.threads c.Mg_withloop.Engine.threads;
+  if not c.Mg_withloop.Engine.reuse then
+    Printf.printf "MG_REUSE=0: buffer-reuse pass disabled\n%!";
+  if not c.Mg_withloop.Engine.pooling then
+    Printf.printf "MG_POOLING=0: arena pooling disabled\n%!";
+  if Mg_withloop.Engine.strict () then
+    Printf.printf "MG_ENGINE_STRICT=1: compat-shim mutation is a hard error\n%!";
   Alcotest.run "sac_mg"
     [ Test_shape.suite;
       Test_ndarray.suite;
@@ -41,6 +40,7 @@ let () =
       Test_linform.suite;
       Test_ir.suite;
       Test_driver.suite;
+      Test_engine.suite;
       Test_schedule.suite;
       Test_smp_sim.suite;
       Test_bench_util.suite;

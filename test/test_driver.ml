@@ -44,13 +44,17 @@ let test_untraced_has_no_events () =
   let r = Driver.run ~impl:Driver.F77 ~cls:Classes.tiny () in
   Alcotest.(check int) "no events" 0 (List.length r.Driver.events)
 
-let test_globals_restored () =
+(* Driver.run derives a one-shot engine per call: its overrides must
+   be invisible to the caller's configuration afterwards. *)
+let test_config_isolated () =
   let open Mg_withloop in
-  Wl.set_opt_level Wl.O1;
-  ignore (Driver.run ~opt:Wl.O3 ~threads:2 ~impl:Driver.Sac ~cls:Classes.tiny ());
-  Alcotest.(check string) "opt restored" "O1" (Wl.opt_level_to_string (Wl.get_opt_level ()));
-  Alcotest.(check int) "threads restored" 1 (Wl.get_threads ());
-  Wl.set_opt_level Wl.O3
+  let opt_before = Wl.get_opt_level () in
+  let threads_before = Wl.get_threads () in
+  ignore (Driver.run ~opt:Wl.O1 ~threads:2 ~impl:Driver.Sac ~cls:Classes.tiny ());
+  Alcotest.(check string) "opt untouched"
+    (Wl.opt_level_to_string opt_before)
+    (Wl.opt_level_to_string (Wl.get_opt_level ()));
+  Alcotest.(check int) "threads untouched" threads_before (Wl.get_threads ())
 
 let test_schedule_determinism () =
   let r1 = Driver.run ~impl:Driver.F77 ~cls:Classes.mini () in
@@ -68,7 +72,7 @@ let suite =
       Alcotest.test_case "all four impls agree (tiny)" `Quick test_all_impls_agree_on_tiny;
       Alcotest.test_case "trace collection" `Quick test_trace_collection;
       Alcotest.test_case "untraced has no events" `Quick test_untraced_has_no_events;
-      Alcotest.test_case "globals restored" `Quick test_globals_restored;
+      Alcotest.test_case "caller config isolated" `Quick test_config_isolated;
       Alcotest.test_case "deterministic" `Quick test_schedule_determinism;
       Alcotest.test_case "wl events parallel flag" `Quick test_wl_trace_events_parallel_flag;
     ] )

@@ -245,24 +245,18 @@ let test_policies_backends_bitwise_identical () =
   let shp = [| n; n; n |] in
   let src = src_of_seed shp 42 in
   let gen = Generator.interior shp 1 in
-  let saved_threads = Wl.get_threads () in
   let force_with ~threads ~sched ~backend ~cfun body =
     (* Fresh plans per configuration; par_threshold 1 forces the
        parallel split even on this small grid. *)
     Wl.cache_clear ();
-    Wl.set_threads threads;
-    Wl.set_par_threshold 1;
-    Fun.protect
-      ~finally:(fun () ->
-        Wl.set_par_threshold 16384;
-        Wl.set_threads saved_threads)
-      (fun () ->
-        Wl.with_cfun cfun (fun () ->
-            Wl.with_sched_policy sched (fun () ->
-                Wl.with_backend backend (fun () ->
-                    let w = Wl.of_ndarray src in
-                    Ndarray.copy
-                      (Wl.force (Wl.genarray ~default:0.0 shp [ (gen, body w) ]))))))
+    Wl.with_threads threads (fun () ->
+        Wl.with_par_threshold 1 (fun () ->
+            Wl.with_cfun cfun (fun () ->
+                Wl.with_sched_policy sched (fun () ->
+                    Wl.with_backend backend (fun () ->
+                        let w = Wl.of_ndarray src in
+                        Ndarray.copy
+                          (Wl.force (Wl.genarray ~default:0.0 shp [ (gen, body w) ])))))))
   in
   let policies =
     [ Mg_smp.Sched_policy.Static_block;

@@ -101,22 +101,17 @@ let test_threads_round_trip () =
   Wl.cache_clear ();
   let src = src_of_seed [| 24; 24 |] 5 in
   let a = Wl.force (stencil_graph src 0.75) in
-  let saved = Wl.get_threads () in
-  Fun.protect
-    ~finally:(fun () -> Wl.set_threads saved)
-    (fun () ->
-      (* The env omits thread count: the parallel split happens at
-         execution time, so a plan compiled under one pool size must
-         replay — bitwise-identically — under another. *)
-      Wl.set_threads 1;
-      let s1 = Wl.cache_stats () in
-      let b = Wl.force (stencil_graph src 0.75) in
-      Wl.set_threads 4;
-      let c = Wl.force (stencil_graph src 0.75) in
-      let s2 = Wl.cache_stats () in
-      check_exact "1 thread replay identical" a b;
-      check_exact "4 thread replay identical" a c;
-      Alcotest.(check int) "both thread settings hit" (s1.Plan_cache.hits + 2) s2.Plan_cache.hits)
+  (* The env omits thread count: the parallel split happens at
+     execution time, so a plan compiled under one pool size must
+     replay — bitwise-identically — under another.  (The derived
+     engines share the same cache instance, so the stats accumulate.) *)
+  let s1 = Wl.cache_stats () in
+  let b = Wl.with_threads 1 (fun () -> Wl.force (stencil_graph src 0.75)) in
+  let c = Wl.with_threads 4 (fun () -> Wl.force (stencil_graph src 0.75)) in
+  let s2 = Wl.cache_stats () in
+  check_exact "1 thread replay identical" a b;
+  check_exact "4 thread replay identical" a c;
+  Alcotest.(check int) "both thread settings hit" (s1.Plan_cache.hits + 2) s2.Plan_cache.hits
 
 let test_line_buffers_env_split () =
   Wl.cache_clear ();

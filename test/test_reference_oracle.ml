@@ -221,6 +221,9 @@ let exec_settings ~reuse ~cfun sched : Exec.settings =
     line_buffers = false;
     cfun;
     reuse;
+    pooling = Mempool.get_pooling ();
+    observe = true;
+    cache = Plan_cache.create ();
     pool = Mg_smp.Domain_pool.get_global;
     par_threshold = 1;
     sched;

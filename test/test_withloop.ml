@@ -142,11 +142,7 @@ let test_parallel_matches_sequential () =
                     + read_offset s [| 0; 1 |] - const 4.0 * read s)) ])
   in
   let seq = make () in
-  Wl.set_threads 2;
-  Wl.set_par_threshold 16;
-  let par = make () in
-  Wl.set_threads 1;
-  Wl.set_par_threshold 16384;
+  let par = Wl.with_threads 2 (fun () -> Wl.with_par_threshold 16 make) in
   Alcotest.check nd_testable "parallel = sequential" seq par
 
 let test_out_of_bounds_read_rejected () =
