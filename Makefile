@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test smoke profile-smoke check bench clean
+.PHONY: all build test smoke profile-smoke metrics-smoke check bench clean
 
 all: build
 
@@ -60,7 +60,22 @@ profile-smoke: build
 	  END { if (!ok) { print "profile-smoke: no per-engine cache hits in results/bench.json"; exit 1 }; \
 	        print "profile-smoke: per-engine cache stats OK" }' results/bench.json
 
-check: build test smoke profile-smoke
+# Exercise the metrics export pipeline end to end: a class-S run with
+# the registry written as OpenMetrics text and as JSON-lines, the
+# OpenMetrics output linted structurally (TYPE lines, cumulative
+# histogram buckets, +Inf/_count agreement, trailing # EOF) by the
+# in-repo linter, and the flight recorder dump non-empty.
+metrics-smoke: build
+	mkdir -p results
+	dune exec bin/mg_run.exe -- --impl sac --class S --metrics-out=results/metrics.om --flight > results/metrics-s.txt
+	cat results/metrics-s.txt
+	dune exec bin/om_lint.exe -- results/metrics.om
+	dune exec bin/mg_run.exe -- --impl sac --class S --metrics-out=results/metrics.jsonl > /dev/null
+	@grep -q '"type":"histogram"' results/metrics.jsonl 	  && echo "metrics-smoke: JSONL export OK" 	  || { echo "metrics-smoke: no histogram line in results/metrics.jsonl"; exit 1; }
+	@grep -q 'solve=' results/metrics-s.txt 	  && echo "metrics-smoke: flight record present" 	  || { echo "metrics-smoke: no flight record in --flight output"; exit 1; }
+	@grep -q 'engine="' results/metrics.om 	  && echo "metrics-smoke: labelled per-engine shards present" 	  || { echo "metrics-smoke: no labelled shard in results/metrics.om"; exit 1; }
+
+check: build test smoke profile-smoke metrics-smoke
 
 bench: build
 	dune exec bench/main.exe

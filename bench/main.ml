@@ -209,13 +209,22 @@ let () =
                     ("saved_seconds", Json.Float s.Mg_withloop.Plan_cache.saved_seconds);
                   ])
               (Mg_withloop.Engine.all ())));
-        (* The whole metrics registry, so new instruments land in the
-           bench record without touching this file again. *)
+        (* The whole metrics registry — labelled shards included, with
+           the labels folded into the key — so new instruments land in
+           the bench record without touching this file again. *)
         ("metrics",
          Json.Obj
            (List.map
-              (fun (name, v) ->
-                ( name,
+              (fun (name, labels, v) ->
+                let key =
+                  match labels with
+                  | [] -> name
+                  | ls ->
+                      name ^ "{"
+                      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+                      ^ "}"
+                in
+                ( key,
                   match v with
                   | Mg_obs.Metrics.Counter n -> Json.Int n
                   | Mg_obs.Metrics.Gauge g -> Json.Float g
@@ -223,11 +232,13 @@ let () =
                       Json.Obj
                         [ ("count", Json.Int h.Mg_obs.Metrics.count);
                           ("sum", Json.Int h.Mg_obs.Metrics.sum);
+                          ("p50", Json.Float (Mg_obs.Metrics.quantile h 0.5));
+                          ("p99", Json.Float (Mg_obs.Metrics.quantile h 0.99));
                           ("buckets",
                            Json.List
                              (Array.to_list (Array.map (fun c -> Json.Int c) h.Mg_obs.Metrics.buckets)));
                         ] ))
-              (Mg_obs.Metrics.dump ())));
+              (Mg_obs.Metrics.dump_all ())));
         ("results",
          Json.List
            (List.map

@@ -42,7 +42,9 @@ let print_trace (events : Trace.event list) =
   let rows = List.sort (fun (_, a, _) (_, b, _) -> compare b a) rows in
   List.iter (fun (tag, t, c) -> Format.printf "  %-20s %6d calls  %9.4f s@." tag c t) rows
 
-let run impl cls opt threads sched tile backend kernels reuse pooling profile custom_nx custom_nit =
+let run impl cls opt threads sched tile backend kernels reuse pooling profile metrics_out flight
+    custom_nx custom_nit =
+  Mg_obs.Flight.install_sigusr1 ();
   let cls =
     match (custom_nx, custom_nit) with
     | Some nx, nit ->
@@ -83,6 +85,12 @@ let run impl cls opt threads sched tile backend kernels reuse pooling profile cu
           Format.printf "@.Chrome trace: %s (%d spans, %d dropped); load in chrome://tracing or Perfetto.@."
             path (List.length spans) (Span.dropped ()))
     modes;
+  Option.iter
+    (fun path ->
+      Mg_obs.Export.write_file path;
+      Format.printf "@.Metrics: %s@." path)
+    metrics_out;
+  if flight then Format.printf "@.Flight recorder:@.%s" (Mg_obs.Flight.to_string ());
   if Verify.status_ok result.Driver.status then 0 else 1
 
 open Cmdliner
@@ -226,6 +234,16 @@ let profile_arg =
                  $(b,chrome:PATH) (write a Chrome trace_event JSON loadable in \
                  chrome://tracing or Perfetto).")
 
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"PATH"
+           ~doc:"Write the complete metrics registry to $(docv) after the run: JSON-lines                  when the path ends in $(b,.jsonl), OpenMetrics exposition text otherwise.")
+
+let flight_arg =
+  Arg.(value & flag
+       & info [ "flight" ]
+           ~doc:"Print the flight recorder (the bounded ring of per-solve summary records)                  after the run.  The same dump is available at any time via $(b,SIGUSR1).")
+
 let nx_arg =
   Arg.(value & opt (some int) None & info [ "nx" ] ~docv:"N" ~doc:"Custom grid extent (power of two; overrides --class).")
 
@@ -237,6 +255,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mg_run" ~doc)
     Term.(const run $ impl_arg $ class_arg $ opt_arg $ threads_arg $ sched_arg $ tile_arg
-          $ backend_arg $ kernels_arg $ reuse_arg $ pooling_arg $ profile_arg $ nx_arg $ nit_arg)
+          $ backend_arg $ kernels_arg $ reuse_arg $ pooling_arg $ profile_arg $ metrics_out_arg
+          $ flight_arg $ nx_arg $ nit_arg)
 
 let () = exit (Cmd.eval' cmd)

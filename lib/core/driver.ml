@@ -29,7 +29,7 @@ type result = {
    different configurations are safe when each uses its own created
    engine (derived engines share their parent's execution pool, which
    is not reentrant). *)
-let run ?engine ?opt ?threads ?sched ?backend ?cfun ?reuse ?pooling ?line_buffers
+let run ?engine ?tenant ?opt ?threads ?sched ?backend ?cfun ?reuse ?pooling ?line_buffers
     ?(trace = false) ~impl ~cls () =
   let base = match engine with Some e -> e | None -> Engine.current () in
   let e =
@@ -46,25 +46,52 @@ let run ?engine ?opt ?threads ?sched ?backend ?cfun ?reuse ?pooling ?line_buffer
         })
   in
   Wl.with_engine e (fun () ->
-      let body () =
-        Mg_obs.Span.with_
-          ~attrs:[ ("impl", impl_to_string impl); ("class", cls.Classes.name) ]
-          ~name:"driver:run"
-          (fun () ->
-            match impl with
-            | Sac -> Mg_sac.run cls
-            | F77 -> Mg_f77.run cls
-            | C -> Mg_c.run cls
-            | Periodic -> Mg_periodic.run cls)
-      in
-      let events, (rnm2, seconds) =
-        if trace then Trace.with_collector body else ([], body ())
-      in
-      (* Only the Fortran port preserves the reference code's exact
-         floating-point evaluation order; the C port regroups neighbour
-         sums and the with-loop optimiser reassociates freely. *)
-      let exact_order = impl = F77 in
-      { impl; cls; rnm2; seconds; status = Verify.check ~exact_order cls ~rnm2; events })
+      (* One trace context per solve: every span, labelled-metric bump
+         and flight record below is attributed to this engine's label,
+         even from pool worker domains (the pool mirrors the scope). *)
+      let scope = Engine.new_scope ?tenant e in
+      Mg_obs.Scope.with_scope scope (fun () ->
+          (* Per-solve deltas of the labelled shards: snapshot before,
+             subtract after.  Cheap — the scope's cells are pre-interned. *)
+          let cell name = Mg_obs.Scope.counter_value scope name in
+          let h0 = cell "plan_cache.hits"
+          and m0 = cell "plan_cache.misses"
+          and p0 = cell "mempool.pool_hits"
+          and r0 = cell "mempool.reuse_hits"
+          and a0 = cell "mempool.alloc_bytes" in
+          let body () =
+            Mg_obs.Span.with_
+              ~attrs:[ ("impl", impl_to_string impl); ("class", cls.Classes.name) ]
+              ~name:"driver:run"
+              (fun () ->
+                match impl with
+                | Sac -> Mg_sac.run cls
+                | F77 -> Mg_f77.run cls
+                | C -> Mg_c.run cls
+                | Periodic -> Mg_periodic.run cls)
+          in
+          let events, (rnm2, seconds) =
+            if trace then Trace.with_collector body else ([], body ())
+          in
+          (* Only the Fortran port preserves the reference code's exact
+             floating-point evaluation order; the C port regroups neighbour
+             sums and the with-loop optimiser reassociates freely. *)
+          let exact_order = impl = F77 in
+          let status = Verify.check ~exact_order cls ~rnm2 in
+          Mg_obs.Flight.note
+            ~solve_id:(Mg_obs.Scope.solve_id scope)
+            ~engine_id:(Mg_obs.Scope.engine_id scope)
+            ~tenant ~config:(Engine.config_fingerprint e)
+            ~wall_ns:(Int64.of_float (seconds *. 1e9))
+            ~stages:(Mg_obs.Scope.stages scope)
+            ~cache_hits:(cell "plan_cache.hits" - h0)
+            ~cache_misses:(cell "plan_cache.misses" - m0)
+            ~pool_hits:(cell "mempool.pool_hits" - p0)
+            ~reuse_hits:(cell "mempool.reuse_hits" - r0)
+            ~alloc_bytes:(cell "mempool.alloc_bytes" - a0)
+            ~bytes_live_hw:(Mempool.snapshot ()).Mempool.bytes_live_hw
+            ~rnm2 ~verified:(Verify.status_ok status) ();
+          { impl; cls; rnm2; seconds; status; events }))
 
 let traced_run ~impl ~cls = run ~threads:1 ~trace:true ~impl ~cls ()
 

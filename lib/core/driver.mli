@@ -22,6 +22,7 @@ type result = {
 
 val run :
   ?engine:Engine.t ->
+  ?tenant:string ->
   ?opt:Wl.opt_level ->
   ?threads:int ->
   ?sched:Sched_policy.t ->
@@ -42,7 +43,11 @@ val run :
     restoring — a raising solve cannot leak settings into the next
     caller.  For concurrent runs with different configurations, pass
     each call its own {!Engine.create}d engine (derived engines share
-    their parent's execution pool, which is not reentrant). *)
+    their parent's execution pool, which is not reentrant).
+
+    Every solve runs under a fresh {!Mg_obs.Scope} (labelled with the
+    engine's {!Engine.label} and the optional [tenant]) and leaves one
+    {!Mg_obs.Flight} record behind — even when spans are off. *)
 
 val traced_run : impl:impl -> cls:Classes.t -> result
 (** [run ~trace:true] at sequential settings — the input for

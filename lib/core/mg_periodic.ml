@@ -56,13 +56,14 @@ let m_grid ~smoother ~v ~iter =
   !u
 
 let run (cls : Classes.t) =
+  let stage = Mg_obs.Scope.time_stage in
   let n = cls.Classes.nx in
-  let v = Wl.of_ndarray (Zran3.generate_compact ~n) in
+  let v = stage "init" (fun () -> Wl.of_ndarray (Zran3.generate_compact ~n)) in
   let smoother = Classes.smoother_coeffs cls in
   Wl.with_pool_scope (fun () ->
       let t0 = Clock.now () in
-      let u = m_grid ~smoother ~v ~iter:cls.Classes.nit in
-      let r = Wl.force (Ops.sub v (resid u)) in
+      let u = stage "iterate" (fun () -> m_grid ~smoother ~v ~iter:cls.Classes.nit) in
+      let r = stage "residual" (fun () -> Wl.force (Ops.sub v (resid u))) in
       let dt = Clock.now () -. t0 in
       (* norm2u3 over the whole (border-free) grid. *)
       let s = Ndarray.fold (fun acc x -> acc +. (x *. x)) 0.0 r in

@@ -58,18 +58,19 @@ let m_grid ~smoother ~v ~iter =
   !u
 
 let run (cls : Classes.t) =
+  let stage = Mg_obs.Scope.time_stage in
   let n = cls.Classes.nx in
-  let v = Wl.of_ndarray (Zran3.generate ~n) in
+  let v = stage "init" (fun () -> Wl.of_ndarray (Zran3.generate ~n)) in
   let smoother = Classes.smoother_coeffs cls in
   (* Outer scope around the whole solve: reclaims the stragglers the
      per-iteration scopes deferred (the final iterate, kept buffers),
      which keeps [mempool.alloc_bytes] flat across repeated solves. *)
   Wl.with_pool_scope (fun () ->
       let t0 = Clock.now () in
-      let u = m_grid ~smoother ~v ~iter:cls.Classes.nit in
-      let r = Wl.force (Ops.sub v (resid Stencil.a u)) in
+      let u = stage "iterate" (fun () -> m_grid ~smoother ~v ~iter:cls.Classes.nit) in
+      let r = stage "residual" (fun () -> Wl.force (Ops.sub v (resid Stencil.a u))) in
       let dt = Clock.now () -. t0 in
-      let rnm2, _ = Verify.norm2u3 r ~n in
+      let rnm2, _ = stage "verify" (fun () -> Verify.norm2u3 r ~n) in
       (rnm2, dt))
 
 (* Per-iteration residual norms (golden-vector tests).  Forcing the

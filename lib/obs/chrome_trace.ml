@@ -1,7 +1,16 @@
 (* Trace Event Format (the "JSON Array Format" with a traceEvents
    wrapper), as documented by the Chromium project and consumed by
    chrome://tracing and Perfetto.  Only string attribute values are
-   emitted, so escaping stays minimal but correct. *)
+   emitted, so escaping stays minimal but correct.
+
+   Scope-stamped events (see {!Scope}) get their own synthetic lanes,
+   named [engine<id>/domain-<n>], so two engines sharing a domain pool
+   no longer interleave indistinguishably in one lane; each solve is
+   additionally bracketed by an async span ([ph:"b"]/[ph:"e"], cat
+   "solve", id = solve id), which Perfetto renders as a grouping bar
+   over the solve's extent.  Scope-less events keep the original
+   [tid = domain id] lanes, so output for unscoped event lists is
+   byte-identical to the pre-scope exporter (the golden test). *)
 
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -32,8 +41,38 @@ let add_args buf attrs =
     attrs;
   Buffer.add_char buf '}'
 
+(* Scoped events lane apart from unscoped ones: a synthetic tid well
+   above any real domain id, unique per (engine label, domain). *)
+let tid_of (e : Span.event) =
+  match e.Span.scope with
+  | None -> e.Span.lane
+  | Some s -> (100000 * (Scope.engine_id s + 1)) + e.Span.lane
+
+let lane_name (e : Span.event) =
+  match e.Span.scope with
+  | None -> Printf.sprintf "domain-%d" e.Span.lane
+  | Some s -> Printf.sprintf "engine%d/domain-%d" (Scope.engine_id s) e.Span.lane
+
 let lanes evs =
-  List.sort_uniq compare (List.map (fun (e : Span.event) -> e.Span.lane) evs)
+  List.sort_uniq compare (List.map (fun (e : Span.event) -> (tid_of e, lane_name e)) evs)
+
+(* One (min start, max end, representative tid) bracket per solve id. *)
+let solves evs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Span.event) ->
+      match e.Span.scope with
+      | None -> ()
+      | Some s ->
+          let sid = Scope.solve_id s in
+          let lo, hi, tid =
+            try Hashtbl.find tbl sid
+            with Not_found -> (e.Span.start_ns, e.Span.end_ns, tid_of e)
+          in
+          Hashtbl.replace tbl sid (min lo e.Span.start_ns, max hi e.Span.end_ns, tid))
+    evs;
+  Hashtbl.fold (fun sid (lo, hi, tid) acc -> (sid, lo, hi, tid) :: acc) tbl []
+  |> List.sort compare
 
 let to_string ?origin_ns (evs : Span.event list) =
   let origin_ns =
@@ -52,14 +91,27 @@ let to_string ?origin_ns (evs : Span.event list) =
     Buffer.add_string buf "\n";
     Buffer.add_string buf s
   in
-  (* Lane labels first, one metadata event per domain. *)
+  (* Lane labels first, one metadata event per (engine, domain) lane. *)
   List.iter
-    (fun lane ->
+    (fun (tid, name) ->
       emit_line
         (Printf.sprintf
-           {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"domain-%d"}}|}
-           lane lane))
+           {|{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}}|}
+           tid (escape name)))
     (lanes evs);
+  (* Async solve brackets: Perfetto groups everything between the b/e
+     pair that shares cat+id. *)
+  List.iter
+    (fun (sid, lo, hi, tid) ->
+      emit_line
+        (Printf.sprintf
+           {|{"name":"solve-%d","cat":"solve","ph":"b","id":%d,"ts":%s,"pid":1,"tid":%d}|}
+           sid sid (us_of ~origin_ns lo) tid);
+      emit_line
+        (Printf.sprintf
+           {|{"name":"solve-%d","cat":"solve","ph":"e","id":%d,"ts":%s,"pid":1,"tid":%d}|}
+           sid sid (us_of ~origin_ns hi) tid))
+    (solves evs);
   List.iter
     (fun (e : Span.event) ->
       let line = Buffer.create 128 in
@@ -68,7 +120,7 @@ let to_string ?origin_ns (evs : Span.event list) =
           (Printf.sprintf {|{"name":"%s","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d|}
              (escape e.Span.name)
              (us_of ~origin_ns e.Span.start_ns)
-             e.Span.lane)
+             (tid_of e))
       else begin
         let dur =
           let d = Span.duration_ns e in
@@ -78,7 +130,7 @@ let to_string ?origin_ns (evs : Span.event list) =
           (Printf.sprintf {|{"name":"%s","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d|}
              (escape e.Span.name)
              (us_of ~origin_ns e.Span.start_ns)
-             dur e.Span.lane)
+             dur (tid_of e))
       end;
       if e.Span.attrs <> [] then add_args line e.Span.attrs;
       Buffer.add_char line '}';

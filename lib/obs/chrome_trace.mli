@@ -4,9 +4,13 @@
     [chrome://tracing] and Perfetto load: one complete ("X") event per
     span, one lane ([tid]) per recording domain, zero-duration spans as
     instant ("i") markers, plus [thread_name] metadata so lanes are
-    labelled [domain-N].  Timestamps are microseconds relative to the
-    earliest event (or [origin_ns]), so output is deterministic for a
-    fixed event list — the golden test compares the full string. *)
+    labelled [domain-N].  Scope-stamped events instead land in
+    synthetic per-engine lanes labelled [engine<id>/domain-N], and
+    each solve is bracketed by an async ("b"/"e") span keyed by its
+    solve id so Perfetto groups concurrent solves.  Timestamps are
+    microseconds relative to the earliest event (or [origin_ns]), so
+    output is deterministic for a fixed event list — the golden test
+    compares the full string. *)
 
 val to_string : ?origin_ns:int64 -> Span.event list -> string
 (** The complete JSON document.  [origin_ns] defaults to the earliest

@@ -1,0 +1,150 @@
+(* Registry exporters: OpenMetrics text (the Prometheus exposition
+   format, as linted by bin/om_lint.exe and scraped by any Prometheus-
+   compatible collector) and JSON-lines (one instrument per line, with
+   interpolated quantiles for histograms — the machine-readable side
+   channel for bench.json and ad-hoc tooling). *)
+
+(* OpenMetrics metric/label names are [a-zA-Z_:][a-zA-Z0-9_:]*; our
+   dotted names map dots to underscores. *)
+let sanitize name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+(* Label values escape backslash, double-quote and newline. *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels (ls : Metrics.labels) =
+  match ls with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v)) ls)
+      ^ "}"
+
+(* Cumulative upper bucket edges: bucket 0 holds v <= 1 (le = 1), and
+   bucket i >= 1 holds 2^i <= v < 2^(i+1) (le = 2^(i+1), exact as a
+   float for every i < 63). *)
+let le_of i = if i <= 0 then 1.0 else 2.0 ** float_of_int (i + 1)
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics text                                                    *)
+
+let to_openmetrics () =
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  List.iter
+    (fun (name, labels, v) ->
+      let fam = sanitize name in
+      let ls = render_labels labels in
+      if fam <> !last_family then begin
+        last_family := fam;
+        let kind =
+          match v with
+          | Metrics.Counter _ -> "counter"
+          | Metrics.Gauge _ -> "gauge"
+          | Metrics.Histogram _ -> "histogram"
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind)
+      end;
+      match v with
+      | Metrics.Counter n -> Buffer.add_string buf (Printf.sprintf "%s_total%s %d\n" fam ls n)
+      | Metrics.Gauge g -> Buffer.add_string buf (Printf.sprintf "%s%s %s\n" fam ls (fmt_float g))
+      | Metrics.Histogram h ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              (* Only non-empty buckets (plus the mandatory +Inf): a
+                 63-bucket grid per family would swamp the output. *)
+              if c > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" fam
+                     (render_labels (labels @ [ ("le", fmt_float (le_of i)) ]))
+                     !cum))
+            h.Metrics.buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" fam
+               (render_labels (labels @ [ ("le", "+Inf") ]))
+               h.Metrics.count);
+          Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" fam ls h.Metrics.sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" fam ls h.Metrics.count))
+    (Metrics.dump_all ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON lines                                                          *)
+
+let escape_json v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape_json k) (escape_json v))
+         labels)
+  ^ "}"
+
+let to_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, labels, v) ->
+      let head =
+        Printf.sprintf "{\"name\":\"%s\",\"labels\":%s" (escape_json name) (json_labels labels)
+      in
+      let line =
+        match v with
+        | Metrics.Counter n -> Printf.sprintf "%s,\"type\":\"counter\",\"value\":%d}" head n
+        | Metrics.Gauge g -> Printf.sprintf "%s,\"type\":\"gauge\",\"value\":%.17g}" head g
+        | Metrics.Histogram h ->
+            Printf.sprintf
+              "%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\"buckets\":[%s]}"
+              head h.Metrics.count h.Metrics.sum
+              (Metrics.quantile h 0.5)
+              (Metrics.quantile h 0.9)
+              (Metrics.quantile h 0.99)
+              (String.concat ","
+                 (Array.to_list (Array.map string_of_int h.Metrics.buckets)))
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (Metrics.dump_all ());
+  Buffer.contents buf
+
+let write_file path =
+  let body =
+    if Filename.check_suffix path ".jsonl" then to_jsonl () else to_openmetrics ()
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body)

@@ -1,0 +1,19 @@
+(** Registry exporters: OpenMetrics text and JSON-lines.
+
+    Both serialise the complete {!Metrics} registry — every label set
+    included — at call time.  The OpenMetrics form follows the
+    exposition format Prometheus-compatible scrapers ingest: one
+    [# TYPE] line per family, [_total]-suffixed counters, cumulative
+    [_bucket{le="..."}] histogram series ending in [+Inf] plus
+    [_sum]/[_count], label values escaped (backslash, double quote,
+    newline), dotted
+    metric names mapped to underscores, terminated by [# EOF].
+    The JSON-lines form emits one object per instrument and adds
+    interpolated p50/p90/p99 ({!Metrics.quantile}) to histograms. *)
+
+val to_openmetrics : unit -> string
+val to_jsonl : unit -> string
+
+val write_file : string -> unit
+(** Write the registry to [path]: JSON-lines when the path ends in
+    [.jsonl], OpenMetrics text otherwise. *)

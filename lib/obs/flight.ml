@@ -1,0 +1,106 @@
+(* The always-on flight recorder: a fixed ring of per-solve summary
+   records, written by Driver.run whether or not spans are enabled.
+   One mutexed store per solve (well under a microsecond); readers
+   take the same mutex except the signal-dump path, which reads the
+   ring racily — records are immutable once stored, and a dump racing
+   one in-flight [note] is an acceptable trade for not locking inside
+   a signal handler. *)
+
+type record = {
+  seq : int;  (** Monotone admission number; survives ring wrap. *)
+  solve_id : int;
+  engine_id : int;
+  tenant : string option;
+  config : string;  (** The engine's config fingerprint. *)
+  wall_ns : int64;
+  stages : (string * int64) list;
+  cache_hits : int;
+  cache_misses : int;
+  pool_hits : int;
+  reuse_hits : int;
+  alloc_bytes : int;
+  bytes_live_hw : int;
+  rnm2 : float;
+  verified : bool;
+}
+
+let capacity = 512
+let ring : record option array = Array.make capacity None
+let m = Mutex.create ()
+let next_seq = ref 0
+
+let note ~solve_id ~engine_id ~tenant ~config ~wall_ns ~stages ~cache_hits ~cache_misses
+    ~pool_hits ~reuse_hits ~alloc_bytes ~bytes_live_hw ~rnm2 ~verified () =
+  Mutex.lock m;
+  let seq = !next_seq in
+  next_seq := seq + 1;
+  ring.(seq mod capacity) <-
+    Some
+      { seq;
+        solve_id;
+        engine_id;
+        tenant;
+        config;
+        wall_ns;
+        stages;
+        cache_hits;
+        cache_misses;
+        pool_hits;
+        reuse_hits;
+        alloc_bytes;
+        bytes_live_hw;
+        rnm2;
+        verified;
+      };
+  Mutex.unlock m
+
+let records_unlocked () =
+  Array.to_list ring
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let records () =
+  Mutex.lock m;
+  let rs = records_unlocked () in
+  Mutex.unlock m;
+  rs
+
+let clear () =
+  Mutex.lock m;
+  Array.fill ring 0 capacity None;
+  next_seq := 0;
+  Mutex.unlock m
+
+let pp_record ppf r =
+  Format.fprintf ppf "#%d solve=%d engine=%d%s [%s] wall=%.3fms" r.seq r.solve_id
+    r.engine_id
+    (match r.tenant with Some t -> " tenant=" ^ t | None -> "")
+    r.config
+    (Int64.to_float r.wall_ns /. 1e6);
+  List.iter
+    (fun (name, ns) -> Format.fprintf ppf " %s=%.3fms" name (Int64.to_float ns /. 1e6))
+    r.stages;
+  Format.fprintf ppf " cache=%d/%d pool_hits=%d reuse=%d alloc=%dB live_hw=%dB rnm2=%.13e %s"
+    r.cache_hits
+    (r.cache_hits + r.cache_misses)
+    r.pool_hits r.reuse_hits r.alloc_bytes r.bytes_live_hw r.rnm2
+    (if r.verified then "VERIFIED" else "FAILED")
+
+let to_string_of rs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "flight recorder: %d record(s) (ring capacity %d)\n" (List.length rs)
+       capacity);
+  List.iter (fun r -> Buffer.add_string buf (Format.asprintf "  %a\n" pp_record r)) rs;
+  Buffer.contents buf
+
+let to_string () = to_string_of (records ())
+
+let install_sigusr1 () =
+  (* Lock-free dump (see the racy-read note above): a handler blocked
+     on [m] while the interrupted thread holds it would deadlock. *)
+  try
+    ignore
+      (Sys.signal Sys.sigusr1
+         (Sys.Signal_handle (fun _ -> prerr_string (to_string_of (records_unlocked ())))))
+  with Invalid_argument _ | Sys_error _ -> ()

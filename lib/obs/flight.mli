@@ -1,0 +1,68 @@
+(** The always-on flight recorder: a bounded ring of per-solve
+    summaries.
+
+    Spans answer "where did this solve spend its time" but cost a
+    clock read per instrumented region, so they default off.  The
+    flight recorder answers the post-hoc question — "what were the
+    last N solves, and did any look wrong" — at a price low enough to
+    leave on always: [Driver.run] writes one summary record (config
+    fingerprint, wall and per-stage times, cache/mempool deltas,
+    verify norm) per solve, under a mutex, into a fixed ring.  Dump it
+    with [Engine.flight_log], [mg_run --flight], or [SIGUSR1]. *)
+
+type record = {
+  seq : int;  (** Monotone admission number; survives ring wrap. *)
+  solve_id : int;
+  engine_id : int;  (** The engine's root (label) id. *)
+  tenant : string option;
+  config : string;  (** The engine's config fingerprint. *)
+  wall_ns : int64;
+  stages : (string * int64) list;  (** Per-stage wall ns, in order. *)
+  cache_hits : int;  (** Plan-cache hits during this solve. *)
+  cache_misses : int;
+  pool_hits : int;  (** Mempool allocations served from a free slot. *)
+  reuse_hits : int;  (** In-place aliasing events. *)
+  alloc_bytes : int;  (** Bytes drawn from the OS during this solve. *)
+  bytes_live_hw : int;  (** Pool live-bytes high-water (process-wide). *)
+  rnm2 : float;
+  verified : bool;
+}
+
+val capacity : int
+(** Ring size (records); older records are overwritten. *)
+
+val note :
+  solve_id:int ->
+  engine_id:int ->
+  tenant:string option ->
+  config:string ->
+  wall_ns:int64 ->
+  stages:(string * int64) list ->
+  cache_hits:int ->
+  cache_misses:int ->
+  pool_hits:int ->
+  reuse_hits:int ->
+  alloc_bytes:int ->
+  bytes_live_hw:int ->
+  rnm2:float ->
+  verified:bool ->
+  unit ->
+  unit
+(** Admit one record (assigns the next [seq]).  One short mutexed
+    store — safe from any domain, well under a microsecond. *)
+
+val records : unit -> record list
+(** Everything currently in the ring, oldest first. *)
+
+val clear : unit -> unit
+
+val pp_record : Format.formatter -> record -> unit
+
+val to_string : unit -> string
+(** The whole ring, one line per record. *)
+
+val install_sigusr1 : unit -> unit
+(** Dump the ring to stderr on [SIGUSR1] (no-op on platforms without
+    it).  The handler reads the ring without locking — see the
+    implementation note — so a dump racing an in-flight solve may
+    miss the newest record. *)

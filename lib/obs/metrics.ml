@@ -1,25 +1,66 @@
-type counter = { cname : string; cell : int Atomic.t }
-type gauge = { gname : string; bits : int64 Atomic.t }
+type labels = (string * string) list
+
+(* Canonical label order so [("a","1");("b","2")] and its permutation
+   intern the same cell. *)
+let canon (ls : labels) = List.sort (fun (a, _) (b, _) -> compare a b) ls
+
+type counter = { cname : string; clabels : labels; cell : int Atomic.t }
+type gauge = { gname : string; glabels : labels; bits : int64 Atomic.t }
 
 (* 63 buckets: bucket i counts v with 2^i <= v < 2^(i+1) (bucket 0 also
    takes v <= 1), which covers every non-negative int. *)
 let nbuckets = 63
 
-type histogram = { hname : string; buckets : int Atomic.t array; sum : int Atomic.t }
+type histogram = {
+  hname : string;
+  hlabels : labels;
+  buckets : int Atomic.t array;
+  sum : int Atomic.t;
+}
 
 type instrument = C of counter | G of gauge | H of histogram
 
+(* Keyed by name + canonical labels; a separate kind table enforces
+   one instrument kind per family name across all label sets (an
+   OpenMetrics family has exactly one type). *)
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let kinds : (string, string) Hashtbl.t = Hashtbl.create 32
 let registry_m = Mutex.create ()
 
-let intern name make =
+let key_of name = function
+  | [] -> name
+  | ls ->
+      let buf = Buffer.create (String.length name + 16) in
+      Buffer.add_string buf name;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf '\x00';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '\x01';
+          Buffer.add_string buf v)
+        ls;
+      Buffer.contents buf
+
+let intern ~kind name labels make =
+  let key = key_of name labels in
   Mutex.lock registry_m;
+  let bad =
+    match Hashtbl.find_opt kinds name with
+    | Some k when k <> kind -> true
+    | _ ->
+        Hashtbl.replace kinds name kind;
+        false
+  in
+  if bad then begin
+    Mutex.unlock registry_m;
+    invalid_arg (Printf.sprintf "Metrics.%s: %S is not a %s" kind name kind)
+  end;
   let i =
-    match Hashtbl.find_opt registry name with
+    match Hashtbl.find_opt registry key with
     | Some i -> i
     | None ->
         let i = make () in
-        Hashtbl.add registry name i;
+        Hashtbl.add registry key i;
         i
   in
   Mutex.unlock registry_m;
@@ -28,8 +69,12 @@ let intern name make =
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 
-let counter name =
-  match intern name (fun () -> C { cname = name; cell = Atomic.make 0 }) with
+let counter ?(labels = []) name =
+  let labels = canon labels in
+  match
+    intern ~kind:"counter" name labels (fun () ->
+        C { cname = name; clabels = labels; cell = Atomic.make 0 })
+  with
   | C c -> c
   | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
 
@@ -38,12 +83,17 @@ let add c d = ignore (Atomic.fetch_and_add c.cell d)
 let value c = Atomic.get c.cell
 let set_counter c v = Atomic.set c.cell v
 let counter_name c = c.cname
+let counter_labels c = c.clabels
 
 (* ------------------------------------------------------------------ *)
 (* Gauges (float payload stored as bits; accumulate via CAS)           *)
 
-let gauge name =
-  match intern name (fun () -> G { gname = name; bits = Atomic.make 0L }) with
+let gauge ?(labels = []) name =
+  let labels = canon labels in
+  match
+    intern ~kind:"gauge" name labels (fun () ->
+        G { gname = name; glabels = labels; bits = Atomic.make 0L })
+  with
   | G g -> g
   | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
 
@@ -62,11 +112,13 @@ let gauge_value g = Int64.float_of_bits (Atomic.get g.bits)
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
 
-let histogram name =
+let histogram ?(labels = []) name =
+  let labels = canon labels in
   match
-    intern name (fun () ->
+    intern ~kind:"histogram" name labels (fun () ->
         H
           { hname = name;
+            hlabels = labels;
             buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
             sum = Atomic.make 0;
           })
@@ -97,22 +149,61 @@ let histogram_snapshot (h : histogram) =
   let buckets = Array.sub raw 0 (!last + 1) in
   { buckets; count = Array.fold_left ( + ) 0 buckets; sum = Atomic.get h.sum }
 
+(* Bucket edges as floats: exact for every bucket (2^i < 2^63 fits a
+   float's exponent range) where [bucket_lo]'s [1 lsl i] would
+   overflow at i = 62. *)
+let edge_lo i = if i <= 0 then 0.0 else 2.0 ** float_of_int i
+let edge_hi i = if i <= 0 then 1.0 else 2.0 ** float_of_int (i + 1)
+
+(* Nearest-rank quantile with linear interpolation inside the landing
+   bucket: the estimate lies in the same log2 bucket as the exact
+   order statistic (or an adjacent one when interpolation touches an
+   edge) — the resolution the buckets actually store. *)
+let quantile (s : histogram_snapshot) q =
+  if s.count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = Float.max 1.0 (q *. float_of_int s.count) in
+    let n = Array.length s.buckets in
+    let rec go i cum =
+      if i >= n then edge_hi (n - 1)
+      else
+        let c = float_of_int s.buckets.(i) in
+        if c > 0.0 && cum +. c >= rank then
+          edge_lo i +. ((rank -. cum) /. c *. (edge_hi i -. edge_lo i))
+        else go (i + 1) (cum +. c)
+    in
+    go 0 0.0
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 
 type value = Counter of int | Gauge of float | Histogram of histogram_snapshot
 
-let dump () =
+let value_of = function
+  | C c -> Counter (value c)
+  | G g -> Gauge (gauge_value g)
+  | H h -> Histogram (histogram_snapshot h)
+
+let labels_of = function C c -> c.clabels | G g -> g.glabels | H h -> h.hlabels
+let name_of = function C c -> c.cname | G g -> g.gname | H h -> h.hname
+
+let all_instruments () =
   Mutex.lock registry_m;
-  let all = Hashtbl.fold (fun k i acc -> (k, i) :: acc) registry [] in
+  let all = Hashtbl.fold (fun _ i acc -> i :: acc) registry [] in
   Mutex.unlock registry_m;
   all
-  |> List.map (fun (k, i) ->
-         ( k,
-           match i with
-           | C c -> Counter (value c)
-           | G g -> Gauge (gauge_value g)
-           | H h -> Histogram (histogram_snapshot h) ))
+
+let dump () =
+  all_instruments ()
+  |> List.filter_map (fun i ->
+         if labels_of i = [] then Some (name_of i, value_of i) else None)
+  |> List.sort compare
+
+let dump_all () =
+  all_instruments ()
+  |> List.map (fun i -> (name_of i, labels_of i, value_of i))
   |> List.sort compare
 
 let reset () =

@@ -1,13 +1,25 @@
 (** Typed metrics registry: atomic counters, gauges and log-bucketed
-    histograms.
+    histograms, optionally labelled.
 
     This subsumes the former ad-hoc diagnostics — the [Kernel.hits_*]
     [int ref]s (which raced when bumped from pool domains) and the
     [Trace] named-counter table — behind one process-wide registry.
     All mutation is on {!Stdlib.Atomic} cells, so instruments may be
     bumped concurrently from {!Mg_smp.Domain_pool} workers; creation
-    interns by name under a mutex, so [counter name] returns the same
-    cell everywhere. *)
+    interns by [(name, labels)] under a mutex, so [counter name]
+    returns the same cell everywhere.
+
+    {2 Labels}
+
+    An instrument may carry a label set (e.g. [("engine", "3")]):
+    each distinct [(name, labels)] pair is its own cell, so a
+    per-engine shard of [plan_cache.hits] accumulates independently
+    of the unlabelled process-wide aggregate.  Label order is
+    canonicalised at interning.  One {e kind} per family name is
+    enforced across all label sets — registering [gauge "x"] after
+    [counter ~labels "x"] raises. *)
+
+type labels = (string * string) list
 
 type counter
 type gauge
@@ -15,19 +27,22 @@ type histogram
 
 (** {1 Counters} *)
 
-val counter : string -> counter
-(** Find-or-create the named counter (atomic int, starts at 0). *)
+val counter : ?labels:labels -> string -> counter
+(** Find-or-create the counter for [(name, labels)] (atomic int,
+    starts at 0); [labels] defaults to the unlabelled aggregate. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int
 val set_counter : counter -> int -> unit
 val counter_name : counter -> string
+val counter_labels : counter -> labels
 
 (** {1 Gauges} *)
 
-val gauge : string -> gauge
-(** Find-or-create the named gauge (atomic float, starts at 0). *)
+val gauge : ?labels:labels -> string -> gauge
+(** Find-or-create the gauge for [(name, labels)] (atomic float,
+    starts at 0). *)
 
 val set_gauge : gauge -> float -> unit
 val add_gauge : gauge -> float -> unit
@@ -42,8 +57,8 @@ val gauge_value : gauge -> float
     cover the whole non-negative [int] range.  Observations are
     dimensionless ints — by convention nanoseconds or elements. *)
 
-val histogram : string -> histogram
-(** Find-or-create the named histogram. *)
+val histogram : ?labels:labels -> string -> histogram
+(** Find-or-create the histogram for [(name, labels)]. *)
 
 val observe : histogram -> int -> unit
 
@@ -58,6 +73,12 @@ type histogram_snapshot = { buckets : int array; count : int; sum : int }
 val histogram_snapshot : histogram -> histogram_snapshot
 (** [buckets] is trimmed to the last non-empty bucket. *)
 
+val quantile : histogram_snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) of the
+    observed distribution by nearest rank with linear interpolation
+    inside the landing log₂ bucket — within one bucket of the exact
+    order statistic by construction.  [0.0] on an empty snapshot. *)
+
 (** {1 Registry} *)
 
 type value =
@@ -66,8 +87,12 @@ type value =
   | Histogram of histogram_snapshot
 
 val dump : unit -> (string * value) list
-(** Every registered instrument with its current value, sorted by
-    name. *)
+(** Every {e unlabelled} instrument with its current value, sorted by
+    name (the pre-label API; labelled shards are in {!dump_all}). *)
+
+val dump_all : unit -> (string * labels * value) list
+(** Every registered instrument — labelled or not — with its current
+    value, sorted by name then labels. *)
 
 val reset : unit -> unit
 (** Zero every registered instrument (registrations are kept). *)

@@ -234,9 +234,9 @@ let pp ?wall_seconds ppf (evs : Span.event list) =
         (ms window_ns);
       render_table ppf ~header:[ "lane"; "spans"; "busy ms"; "util" ] lane_rows;
       let metrics = Metrics.dump () in
-      (* 4. Per-kernel piece cost (the [kernel.ns_elt.*] histograms
-         recorded under {!Wl.set_kernel_timing}): count, mean and the
-         full log₂ bucket distribution as [lower-edge:count] pairs. *)
+      (* 4. Per-kernel piece cost (the unlabelled [kernel.ns_elt.*]
+         aggregate histograms recorded under {!Wl.set_kernel_timing}):
+         count, mean, and interpolated p50/p90/p99. *)
       let prefix = "kernel.ns_elt." in
       let plen = String.length prefix in
       let kernel_rows =
@@ -247,18 +247,14 @@ let pp ?wall_seconds ppf (evs : Span.event list) =
               when h.Metrics.count > 0
                    && String.length name > plen
                    && String.sub name 0 plen = prefix ->
-                let buf = Buffer.create 64 in
-                Array.iteri
-                  (fun i c ->
-                    if c > 0 then
-                      Buffer.add_string buf (Printf.sprintf "%d:%d " (Metrics.bucket_lo i) c))
-                  h.Metrics.buckets;
                 Some
                   [ String.sub name plen (String.length name - plen);
                     string_of_int h.Metrics.count;
                     Printf.sprintf "%.1f"
                       (float_of_int h.Metrics.sum /. float_of_int h.Metrics.count);
-                    String.trim (Buffer.contents buf);
+                    Printf.sprintf "%.1f" (Metrics.quantile h 0.5);
+                    Printf.sprintf "%.1f" (Metrics.quantile h 0.9);
+                    Printf.sprintf "%.1f" (Metrics.quantile h 0.99);
                   ]
             | _ -> None)
           metrics
@@ -266,23 +262,37 @@ let pp ?wall_seconds ppf (evs : Span.event list) =
       if kernel_rows <> [] then begin
         Format.fprintf ppf "@.Per-kernel piece cost (ns per element, log2 buckets):@.";
         render_table ppf
-          ~header:[ "kernel"; "pieces"; "mean ns/elt"; "distribution (lo:count)" ]
+          ~header:[ "kernel"; "pieces"; "mean ns/elt"; "p50"; "p90"; "p99" ]
           kernel_rows
       end;
-      (* 5. Metrics registry. *)
-      if metrics <> [] then begin
+      (* 5. Metrics registry, labelled shards included.  Labelled
+         entries render as [name{k="v"}] — the name immediately
+         followed by the brace — so tools matching the unlabelled
+         [^  name ] lines (the profile-smoke awk) never pick up a
+         shard by accident. *)
+      let all_metrics = Metrics.dump_all () in
+      if all_metrics <> [] then begin
         Format.fprintf ppf "@.Metrics:@.";
         List.iter
-          (fun (name, v) ->
+          (fun (name, labels, v) ->
+            let shown =
+              match labels with
+              | [] -> name
+              | ls ->
+                  name ^ "{"
+                  ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+                  ^ "}"
+            in
             match v with
-            | Metrics.Counter n -> Format.fprintf ppf "  %-36s %12d@." name n
-            | Metrics.Gauge g -> Format.fprintf ppf "  %-36s %12.6f@." name g
+            | Metrics.Counter n -> Format.fprintf ppf "  %-36s %12d@." shown n
+            | Metrics.Gauge g -> Format.fprintf ppf "  %-36s %12.6f@." shown g
             | Metrics.Histogram h ->
-                Format.fprintf ppf "  %-36s count=%d sum=%d mean=%.1f@." name h.Metrics.count
-                  h.Metrics.sum
+                Format.fprintf ppf "  %-36s count=%d sum=%d mean=%.1f p50=%.1f p99=%.1f@."
+                  shown h.Metrics.count h.Metrics.sum
                   (if h.Metrics.count = 0 then 0.0
-                   else float_of_int h.Metrics.sum /. float_of_int h.Metrics.count))
-          metrics
+                   else float_of_int h.Metrics.sum /. float_of_int h.Metrics.count)
+                  (Metrics.quantile h 0.5) (Metrics.quantile h 0.99))
+          all_metrics
       end
 
 let render ?wall_seconds evs = Format.asprintf "%a" (pp ?wall_seconds) evs

@@ -1,9 +1,13 @@
 (* The one global switch.  Everything recorded below is behind a single
    [Atomic.get] on this flag, so fully-instrumented code paths cost one
-   load and one branch when observation is off. *)
+   load and one branch when observation is off.  When the global switch
+   is on, the current {!Scope}'s per-engine gate is consulted second —
+   an engine configured with [observe = false] keeps its solve out of
+   the rings even while another engine records (the gate travels to
+   pool workers with the scope). *)
 let flag = Atomic.make false
 
-let enabled () = Atomic.get flag
+let enabled () = Atomic.get flag && Scope.local_observe ()
 let set_enabled b = Atomic.set flag b
 
 let with_enabled b f =
@@ -24,13 +28,15 @@ type event = {
   start_ns : int64;
   end_ns : int64;
   attrs : (string * string) list;
+  scope : Scope.t option;
 }
 
 let duration_ns e = Int64.sub e.end_ns e.start_ns
 
 let capacity = 1 lsl 16
 
-let dummy = { name = ""; lane = 0; depth = 0; start_ns = 0L; end_ns = 0L; attrs = [] }
+let dummy =
+  { name = ""; lane = 0; depth = 0; start_ns = 0L; end_ns = 0L; attrs = []; scope = None }
 
 (* One ring per domain, allocated lazily on the domain's first record
    and registered once under [rings_m].  The ring itself is
@@ -62,16 +68,20 @@ let key =
 
 let get_ring () = Domain.DLS.get key
 
+(* Events are stamped with the recording domain's current scope, so
+   two engines' spans interleaved in time (or even on one lane, for
+   engines sharing a pool) stay attributable. *)
 let record r name attrs start_ns end_ns depth =
   let i = r.count land (capacity - 1) in
-  r.slots.(i) <- { name; lane = r.lane; depth; start_ns; end_ns; attrs };
+  r.slots.(i) <-
+    { name; lane = r.lane; depth; start_ns; end_ns; attrs; scope = Scope.current () };
   r.count <- r.count + 1
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
 
 let with_ ?(attrs = []) ~name f =
-  if not (Atomic.get flag) then f ()
+  if not (Atomic.get flag && Scope.local_observe ()) then f ()
   else begin
     let r = get_ring () in
     r.depth <- r.depth + 1;
@@ -95,7 +105,7 @@ let null = Int64.min_int
 let active t = t <> Int64.min_int
 
 let start () =
-  if not (Atomic.get flag) then null
+  if not (Atomic.get flag && Scope.local_observe ()) then null
   else begin
     let r = get_ring () in
     r.depth <- r.depth + 1;
@@ -111,7 +121,7 @@ let stop ?(attrs = []) ~name t =
   end
 
 let instant ?(attrs = []) ~name () =
-  if Atomic.get flag then begin
+  if Atomic.get flag && Scope.local_observe () then begin
     let r = get_ring () in
     let now = Monotonic_clock.now () in
     record r name attrs now now (r.depth + 1)

@@ -17,6 +17,11 @@
 (** {1 The global switch} *)
 
 val enabled : unit -> bool
+(** The global switch {e and} the current scope's per-engine gate:
+    recording happens only when both say yes.  The global atomic is
+    read first, so the disabled fast path never pays the domain-local
+    scope lookup. *)
+
 val set_enabled : bool -> unit
 
 val with_enabled : bool -> (unit -> 'a) -> 'a
@@ -32,6 +37,10 @@ type event = {
   start_ns : int64;
   end_ns : int64;  (** Equal to [start_ns] for {!instant} markers. *)
   attrs : (string * string) list;
+  scope : Scope.t option;
+      (** The recording domain's solve scope at record time ([None]
+          outside any solve) — the attribution handle for concurrent
+          engines. *)
 }
 
 val duration_ns : event -> int64

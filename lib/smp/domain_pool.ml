@@ -5,6 +5,10 @@ type job = {
   failed : bool Atomic.t;  (* set on first exception: stop claiming *)
   mutable running : int;  (* participants still working, incl. caller *)
   mutable exn : exn option;
+  scope : Mg_obs.Scope.t option;
+      (* the submitting domain's solve scope, mirrored onto every
+         participant so worker-side spans and metric shards attribute
+         to the right solve *)
 }
 
 type t = {
@@ -21,6 +25,7 @@ type t = {
 let size t = t.n
 
 let run_chunks t job =
+  Mg_obs.Scope.with_opt job.scope @@ fun () ->
   let nranges = Array.length job.ranges in
   let continue = ref true in
   while !continue && not (Atomic.get job.failed) do
@@ -114,6 +119,7 @@ let parallel_for ?(policy = Sched_policy.default) t ~lo ~hi body =
         failed = Atomic.make false;
         running = 1 + List.length t.domains;
         exn = None;
+        scope = Mg_obs.Scope.current ();
       }
     in
     Mutex.lock t.m;

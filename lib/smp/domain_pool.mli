@@ -26,7 +26,10 @@ val parallel_for :
     range [lo, hi) into the chunks prescribed by [policy] (default
     {!Sched_policy.default}: one contiguous block per domain) and runs
     [body chunk_lo chunk_hi] for each, concurrently; participants claim
-    chunks dynamically.  Returns when all chunks have completed. *)
+    chunks dynamically.  The calling domain's {!Mg_obs.Scope} (if any)
+    is mirrored onto every participant for the job's duration, so
+    worker-side telemetry attributes to the submitting solve.  Returns
+    when all chunks have completed. *)
 
 val sequential : t
 (** A pool of size 1 that never spawns domains. *)

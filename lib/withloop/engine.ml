@@ -77,6 +77,11 @@ type pool_ref =
 
 type t = {
   id : int;
+  label : int;
+      (* Root attribution id: created engines label themselves with
+         their own id; derived engines inherit the parent's, so the
+         one-shot derivations Driver.run makes per solve all share
+         one metric label instead of minting unbounded cardinality. *)
   mutable config : config;
   cache : Plan.cache_entry Plan_cache.t;
   pool_ref : pool_ref;
@@ -107,8 +112,10 @@ let all () =
   l
 
 let create ?config:(c = config_of_env ()) () =
+  let id = next_id () in
   let e =
-    { id = next_id ();
+    { id;
+      label = id;
       config = c;
       cache = Plan_cache.create ();
       pool_ref = Owned { pool = None; pm = Mutex.create () };
@@ -123,7 +130,12 @@ let create ?config:(c = config_of_env ()) () =
    its execution pool, but carries its own config record.  This is
    what the scoped [Wl.with_*] combinators hand out. *)
 let derive parent f =
-  { id = next_id (); config = f parent.config; cache = parent.cache; pool_ref = parent.pool_ref }
+  { id = next_id ();
+    label = parent.label;
+    config = f parent.config;
+    cache = parent.cache;
+    pool_ref = parent.pool_ref;
+  }
 
 let shutdown e =
   (match e.pool_ref with
@@ -147,8 +159,10 @@ let default () =
     match !default_ref with
     | Some e -> e
     | None ->
+        let id = next_id () in
         let e =
-          { id = next_id ();
+          { id;
+            label = id;
             config = config_of_env ();
             cache = Plan_cache.create ();
             pool_ref = Shared_global;
@@ -203,6 +217,7 @@ let update_default ~shim f =
 (* Execution plumbing                                                  *)
 
 let id e = e.id
+let label e = e.label
 let config e = e.config
 let set_config e c = e.config <- c
 
@@ -273,6 +288,54 @@ let cache_clear e =
   Plan_cache.clear e.cache;
   Plan_cache.reset_stats e.cache;
   Mempool.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Solve-scoped telemetry                                              *)
+
+let opt_level_to_string_ = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"
+
+(* A compact, human-readable digest of everything that shapes a solve,
+   for flight-recorder records (distinct from Exec's structural cache
+   fingerprint, which is engineered for key compactness). *)
+let config_fingerprint e =
+  let c = e.config in
+  let flag name b = if b then name else "-" ^ name in
+  Printf.sprintf "%s t%d %s %s %s %s %s sched=%s backend=%s"
+    (opt_level_to_string_ c.opt_level)
+    c.threads (flag "lb" c.line_buffers) (flag "cfun" c.cfun) (flag "reuse" c.reuse)
+    (flag "pool" c.pooling) (flag "obs" c.observe)
+    (Sched_policy.to_string c.sched)
+    (Backend.name c.backend)
+
+(* The metric families sharded per engine label: the cache, mempool
+   and kernel instrumentation sites bump these through
+   [Mg_obs.Scope.bump]/[observe] next to the unlabelled aggregates. *)
+let scope_counters =
+  [ "plan_cache.hits";
+    "plan_cache.misses";
+    "plan_cache.evictions";
+    "plan_cache.uncacheable";
+    "mempool.pool_hits";
+    "mempool.reuse_hits";
+    "mempool.alloc_bytes";
+  ]
+
+let scope_histograms =
+  [ "kernel.ns_elt.stencil";
+    "kernel.ns_elt.linebuf";
+    "kernel.ns_elt.copy";
+    "kernel.ns_elt.generic";
+    "kernel.ns_elt.interp";
+    "kernel.ns_elt.cfun";
+  ]
+
+let new_scope ?tenant e =
+  Mg_obs.Scope.make ?tenant ~observe:e.config.observe ~counters:scope_counters
+    ~histograms:scope_histograms ~engine_id:e.label ()
+
+let flight_log e =
+  List.filter (fun (r : Mg_obs.Flight.record) -> r.Mg_obs.Flight.engine_id = e.label)
+    (Mg_obs.Flight.records ())
 
 let opt_level_of_string = function
   | "O0" | "o0" | "0" -> Some O0

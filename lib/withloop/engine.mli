@@ -87,6 +87,29 @@ val id : t -> int
 (** Unique per engine (including derived ones); tags mempool scope
     marks so interleaved scopes of two engines trip the debug guard. *)
 
+val label : t -> int
+(** The engine's root attribution id: [id] for {!create}d engines,
+    the parent's label for {!derive}d ones.  This is the value behind
+    the [engine] metric label and flight-recorder [engine_id] — so a
+    root engine and its per-solve derivations share one metric shard
+    instead of minting unbounded label cardinality. *)
+
+val config_fingerprint : t -> string
+(** A compact human-readable digest of the engine's current config
+    (opt level, threads, feature flags, scheduling policy, backend)
+    for flight-recorder records. *)
+
+val new_scope : ?tenant:string -> t -> Mg_obs.Scope.t
+(** A fresh per-solve trace context attributed to this engine's
+    {!label}, carrying pre-interned labelled shards of the
+    [plan_cache.*], [mempool.*] and [kernel.ns_elt.*] metric families
+    and the engine's [observe] setting.  [Driver.run] installs one per
+    solve with [Mg_obs.Scope.with_scope]. *)
+
+val flight_log : t -> Mg_obs.Flight.record list
+(** Flight-recorder records attributed to this engine's {!label},
+    oldest first. *)
+
 val config : t -> config
 val set_config : t -> config -> unit
 (** Replace the engine's config (takes effect on the next force).

@@ -728,6 +728,16 @@ let h_of = function
   | K3cfun _ -> h_cfun
   | K3generic -> h_generic
 
+(* The per-engine shard of the same family, routed through the
+   installed scope's pre-interned labelled histogram. *)
+let hname_of = function
+  | K3copy -> "kernel.ns_elt.copy"
+  | K3stencil _ -> "kernel.ns_elt.stencil"
+  | K3stencil_lb _ -> "kernel.ns_elt.linebuf"
+  | K3zip | K3flat -> "kernel.ns_elt.interp"
+  | K3cfun _ -> "kernel.ns_elt.cfun"
+  | K3generic -> "kernel.ns_elt.generic"
+
 let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps
     ~(counts : int array) =
   if not (Atomic.get timing) then
@@ -737,7 +747,10 @@ let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~o
     run_k3_untimed ~const k clusters out ~obase ~osteps ~counts;
     let dt = Int64.to_int (Int64.sub (Mg_smp.Clock.now_ns ()) t0) in
     let elts = counts.(0) * counts.(1) * counts.(2) in
-    if elts > 0 then Metrics.observe (h_of k) (dt / elts)
+    if elts > 0 then begin
+      Metrics.observe (h_of k) (dt / elts);
+      Mg_obs.Scope.observe (hname_of k) (dt / elts)
+    end
   end
 
 (* Generic any-rank cluster nest (parts that are not rank 3). *)

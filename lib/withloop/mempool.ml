@@ -90,7 +90,9 @@ let c_reuse_hits = Mg_obs.Metrics.counter "mempool.reuse_hits"
 let c_pool_hits = Mg_obs.Metrics.counter "mempool.pool_hits"
 let c_alloc_bytes = Mg_obs.Metrics.counter "mempool.alloc_bytes"
 let g_bytes_live = Mg_obs.Metrics.gauge "mempool.bytes_live"
-let note_reuse () = Mg_obs.Metrics.incr c_reuse_hits
+let note_reuse () =
+  Mg_obs.Metrics.incr c_reuse_hits;
+  Mg_obs.Scope.bump "mempool.reuse_hits" 1
 
 let locked f =
   let span = Mg_obs.Span.start () in
@@ -277,6 +279,7 @@ let alloc ?pooling:(p : bool option) shape =
   let pooled = match p with Some b -> b | None -> Atomic.get pooling in
   if len = 0 || not pooled then begin
     Mg_obs.Metrics.add c_alloc_bytes (8 * len);
+    Mg_obs.Scope.bump "mempool.alloc_bytes" (8 * len);
     Ndarray.create_uninit shape
   end
   else begin
@@ -286,9 +289,11 @@ let alloc ?pooling:(p : bool option) shape =
       | Some b ->
           Atomic.set a.st_reused (Atomic.get a.st_reused + 1);
           Mg_obs.Metrics.incr c_pool_hits;
+          Mg_obs.Scope.bump "mempool.pool_hits" 1;
           b
       | None ->
           Mg_obs.Metrics.add c_alloc_bytes (8 * len);
+          Mg_obs.Scope.bump "mempool.alloc_bytes" (8 * len);
           Atomic.set a.st_alloc_bytes (Atomic.get a.st_alloc_bytes + (8 * len));
           fresh_buffer len
     in

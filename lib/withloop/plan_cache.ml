@@ -99,7 +99,8 @@ let evict_lru c =
   | Some (k, _) ->
       Hashtbl.remove c.tbl k;
       c.s_evictions <- c.s_evictions + 1;
-      Metrics.incr c_evictions
+      Metrics.incr c_evictions;
+      Mg_obs.Scope.bump "plan_cache.evictions" 1
 
 let add c key value =
   locked c (fun () ->
@@ -132,17 +133,20 @@ let note_hit c ~saved:s =
       c.s_hits <- c.s_hits + 1;
       c.s_saved <- c.s_saved +. s);
   Metrics.incr c_hits;
+  Mg_obs.Scope.bump "plan_cache.hits" 1;
   Metrics.add_gauge g_saved s;
   Span.instant ~name:"plan-cache:hit" ()
 
 let note_miss c =
   locked c (fun () -> c.s_misses <- c.s_misses + 1);
   Metrics.incr c_misses;
+  Mg_obs.Scope.bump "plan_cache.misses" 1;
   Span.instant ~name:"plan-cache:miss" ()
 
 let note_uncacheable c =
   locked c (fun () -> c.s_uncacheable <- c.s_uncacheable + 1);
-  Metrics.incr c_uncacheable
+  Metrics.incr c_uncacheable;
+  Mg_obs.Scope.bump "plan_cache.uncacheable" 1
 
 (* ------------------------------------------------------------------ *)
 (* Structural keys.

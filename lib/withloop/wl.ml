@@ -101,11 +101,19 @@ let with_pooling b f =
     ~finally:(fun () -> Mempool.set_pooling saved)
     (fun () -> with_config (fun c -> { c with Engine.pooling = b }) f)
 
-(* Observation: the process-wide span switch stays the primary gate
-   (it must reach worker domains); the engine's [observe] flag is the
-   per-engine veto consumed by Exec. *)
-let set_observe b = Mg_obs.Span.set_enabled b
-let get_observe () = Mg_obs.Span.enabled ()
+(* Observation is both an engine flag and a process switch, like
+   pooling: the global span flag is the cheap primary gate (read
+   first, so disabled spans stay nanosecond-cheap on worker domains),
+   and the engine's [observe] flag is the per-engine veto — consumed
+   by Exec and carried into each solve's {!Mg_obs.Scope}.  The setter
+   keeps the two in sync so flipping one switch cannot leave the
+   other contradicting it; the getter reports the conjunction — what
+   a solve on the current engine would actually record. *)
+let set_observe b =
+  Engine.update_default ~shim:"Wl.set_observe" (fun c -> { c with Engine.observe = b });
+  Mg_obs.Span.set_enabled b
+
+let get_observe () = Mg_obs.Span.enabled () && (cfg ()).Engine.observe
 
 let with_observe b f =
   Mg_obs.Span.with_enabled b (fun () -> with_config (fun c -> { c with Engine.observe = b }) f)

@@ -216,9 +216,19 @@ val set_observe : bool -> unit
     buffers, collectable with {!Mg_obs.Span.events} and exportable via
     {!Mg_obs.Chrome_trace} / {!Mg_obs.Profile_report} ([mg_run
     --profile]).  Off (the default), instrumented paths cost one atomic
-    load and branch — no clock reads. *)
+    load and branch — no clock reads.
+
+    Updates both halves of the gate together: the process-wide span
+    flag and the default engine's [observe] config (a hard error under
+    [MG_ENGINE_STRICT=1], like every [set_*] shim).  An engine whose
+    config says [observe = false] still vetoes span recording for its
+    own solves — the per-solve {!Mg_obs.Scope} carries the flag to
+    every worker domain. *)
 
 val get_observe : unit -> bool
+(** Whether a solve on the calling domain's current engine would
+    record spans: the global flag [&&] the engine's [observe] veto. *)
+
 val with_observe : bool -> (unit -> 'a) -> 'a
 
 val settings : unit -> Exec.settings

@@ -109,6 +109,113 @@ let test_concurrent_solves_bitwise () =
          the gate is not vacuous: both verify against the class. *)
       Alcotest.(check bool) "distinct engine ids" true (Engine.id ea <> Engine.id eb))
 
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry attribution under concurrency: two engines hammering
+   class S from separate domains must produce per-engine labelled
+   metric deltas equal to their own solo runs — nothing bleeds across
+   the labels — and flight records attributed to the right engine in
+   admission order.                                                    *)
+
+let shard_names =
+  [ "plan_cache.hits"; "plan_cache.misses"; "mempool.pool_hits"; "mempool.reuse_hits";
+    "mempool.alloc_bytes";
+  ]
+
+let shard_snapshot e =
+  let labels = [ ("engine", string_of_int (Engine.label e)) ] in
+  List.map (fun n -> (n, Mg_obs.Metrics.value (Mg_obs.Metrics.counter ~labels n))) shard_names
+
+let shard_delta before after =
+  List.map2 (fun (n, b) (n', a) -> assert (n = n'); (n, a - b)) before after
+
+let test_concurrent_telemetry_attribution () =
+  let base = Engine.config_of_env () in
+  let cfg_a =
+    { base with
+      Engine.threads = 2;
+      cfun = true;
+      sched = Mg_smp.Sched_policy.Tiled { planes = 2; rows = 32 };
+    }
+  in
+  let cfg_b =
+    { base with Engine.threads = 2; cfun = false; sched = Mg_smp.Sched_policy.Static_block }
+  in
+  let ea = Engine.create ~config:cfg_a () in
+  let eb = Engine.create ~config:cfg_b () in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.shutdown ea;
+      Engine.shutdown eb)
+    (fun () ->
+      Alcotest.(check bool) "distinct metric labels" true (Engine.label ea <> Engine.label eb);
+      let solve e () =
+        ignore (Driver.run ~engine:e ~impl:Driver.Sac ~cls:Classes.class_s ())
+      in
+      (* Every measured solve runs on a fresh spawned domain, so its
+         calling-domain arena is cold in the solo and the concurrent
+         case alike — making mempool deltas comparable.  The first
+         pair also warms each engine's plan cache. *)
+      let spawn_solve e = Domain.join (Domain.spawn (solve e)) in
+      spawn_solve ea;
+      spawn_solve eb;
+      (* Solo references. *)
+      let a0 = shard_snapshot ea in
+      spawn_solve ea;
+      let solo_a = shard_delta a0 (shard_snapshot ea) in
+      let b0 = shard_snapshot eb in
+      spawn_solve eb;
+      let solo_b = shard_delta b0 (shard_snapshot eb) in
+      (* The same two solves, concurrently. *)
+      let flight_seq0 =
+        match List.rev (Mg_obs.Flight.records ()) with
+        | [] -> -1
+        | r :: _ -> r.Mg_obs.Flight.seq
+      in
+      let ca0 = shard_snapshot ea and cb0 = shard_snapshot eb in
+      let da = Domain.spawn (solve ea) and db = Domain.spawn (solve eb) in
+      Domain.join da;
+      Domain.join db;
+      let con_a = shard_delta ca0 (shard_snapshot ea) in
+      let con_b = shard_delta cb0 (shard_snapshot eb) in
+      List.iter2
+        (fun (n, solo) (_, con) ->
+          Alcotest.(check int) (Printf.sprintf "A: %s concurrent = solo" n) solo con)
+        solo_a con_a;
+      List.iter2
+        (fun (n, solo) (_, con) ->
+          Alcotest.(check int) (Printf.sprintf "B: %s concurrent = solo" n) solo con)
+        solo_b con_b;
+      (* Both solves left flight records with the right attribution. *)
+      let fresh_records =
+        List.filter
+          (fun (r : Mg_obs.Flight.record) -> r.Mg_obs.Flight.seq > flight_seq0)
+          (Mg_obs.Flight.records ())
+      in
+      Alcotest.(check int) "two fresh flight records" 2 (List.length fresh_records);
+      let ids = List.map (fun (r : Mg_obs.Flight.record) -> r.Mg_obs.Flight.engine_id) fresh_records in
+      Alcotest.(check bool) "one record per engine" true
+        (List.sort compare ids = List.sort compare [ Engine.label ea; Engine.label eb ]);
+      (match fresh_records with
+      | [ r1; r2 ] ->
+          Alcotest.(check bool) "seq strictly increasing" true
+            (r1.Mg_obs.Flight.seq < r2.Mg_obs.Flight.seq);
+          Alcotest.(check bool) "distinct solve ids" true
+            (r1.Mg_obs.Flight.solve_id <> r2.Mg_obs.Flight.solve_id)
+      | _ -> ());
+      List.iter
+        (fun (r : Mg_obs.Flight.record) ->
+          Alcotest.(check bool) "solve verified" true r.Mg_obs.Flight.verified;
+          Alcotest.(check bool) "stages recorded" true
+            (List.mem_assoc "iterate" r.Mg_obs.Flight.stages))
+        fresh_records;
+      (* Engine.flight_log filters by label. *)
+      List.iter
+        (fun (r : Mg_obs.Flight.record) ->
+          Alcotest.(check int) "flight_log filtered to ea" (Engine.label ea)
+            r.Mg_obs.Flight.engine_id)
+        (Engine.flight_log ea))
+
 (* ------------------------------------------------------------------ *)
 (* Strict mode                                                         *)
 
@@ -178,6 +285,8 @@ let suite =
     [ QCheck_alcotest.to_alcotest qcheck_caches_independent;
       Alcotest.test_case "concurrent two-engine class-S solves bitwise" `Quick
         test_concurrent_solves_bitwise;
+      Alcotest.test_case "concurrent two-engine telemetry attribution" `Quick
+        test_concurrent_telemetry_attribution;
       Alcotest.test_case "strict mode rejects shim mutation" `Quick test_strict_mode_rejects_shim;
       Alcotest.test_case "config_of_env parses the matrix vars" `Quick test_config_of_env;
       Alcotest.test_case "derive shares cache, create does not" `Quick test_derive_shares_cache;
