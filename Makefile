@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test smoke profile-smoke metrics-smoke check bench clean
+.PHONY: all build test smoke profile-smoke metrics-smoke native-smoke check bench clean
 
 all: build
 
@@ -16,20 +16,28 @@ smoke: build
 
 # Exercise the observability pipeline: spans on, profile report to
 # stdout and a Perfetto-loadable Chrome trace to results/trace.json.
-# Then assert the staged cfun kernels actually took over from the
-# interpreted generic nest: kernel.cfun must have fired and
-# kernel.generic must be at most 10% of the (generic + cfun) dispatches.
+# Then assert the staged kernel tier actually took over from the
+# interpreted generic nest.  MG_KERNELS selects the dispatch tier
+# (generic | cfun | native; staged = cfun + native dispatches): for
+# the staged tiers some staged kernel must have fired and
+# kernel.generic must be at most 10% of the staged+generic dispatches;
+# for MG_KERNELS=generic the generic nest itself must have fired.
 MG_THREADS ?= 1
+MG_KERNELS ?= cfun
 
 profile-smoke: build
 	mkdir -p results
-	dune exec bin/mg_run.exe -- --impl sac --class W --threads $(MG_THREADS) --profile=report,chrome:results/trace.json > results/profile-w.txt
+	dune exec bin/mg_run.exe -- --impl sac --class W --threads $(MG_THREADS) --kernels $(MG_KERNELS) --profile=report,chrome:results/trace.json > results/profile-w.txt
 	cat results/profile-w.txt
-	awk '/^  kernel\.cfun /{c=$$2} /^  kernel\.generic /{g=$$2} \
-	  END { cv=c+0; gv=g+0; \
-	        if (cv == 0) { print "profile-smoke: kernel.cfun never dispatched"; exit 1 }; \
-	        if (gv * 10 > gv + cv) { print "profile-smoke: kernel.generic " gv " exceeds 10% of " gv+cv; exit 1 }; \
-	        print "profile-smoke: cfun takeover OK (cfun=" cv ", generic=" gv ")" }' results/profile-w.txt
+	awk -v tier=$(MG_KERNELS) \
+	  '/^  kernel\.cfun /{c=$$2} /^  kernel\.native /{n=$$2} /^  kernel\.generic /{g=$$2} \
+	  END { sv=c+n+0; gv=g+0; \
+	        if (tier == "generic") { \
+	          if (gv == 0) { print "profile-smoke: kernel.generic never dispatched"; exit 1 }; \
+	          print "profile-smoke: generic tier OK (generic=" gv ")"; exit 0 }; \
+	        if (sv == 0) { print "profile-smoke: no staged (cfun/native) kernel dispatched"; exit 1 }; \
+	        if (gv * 10 > gv + sv) { print "profile-smoke: kernel.generic " gv " exceeds 10% of " gv+sv; exit 1 }; \
+	        print "profile-smoke: staged takeover OK (cfun=" c+0 ", native=" n+0 ", generic=" gv ")" }' results/profile-w.txt
 	# The buffer-reuse pass must have fired (on by default at O2+), and
 	# fresh pool allocation must stay under a regression ceiling.  With
 	# the per-domain arenas and V-cycle scopes a class-W solve draws
@@ -75,7 +83,37 @@ metrics-smoke: build
 	@grep -q 'solve=' results/metrics-s.txt 	  && echo "metrics-smoke: flight record present" 	  || { echo "metrics-smoke: no flight record in --flight output"; exit 1; }
 	@grep -q 'engine="' results/metrics.om 	  && echo "metrics-smoke: labelled per-engine shards present" 	  || { echo "metrics-smoke: no labelled shard in results/metrics.om"; exit 1; }
 
-check: build test smoke profile-smoke metrics-smoke
+# The AOT native backend end to end, from a cold cache: a class-S run
+# with --kernels native must dispatch native kernels (>90% takeover of
+# the staged rung), record zero compile failures, and populate the
+# on-disk .so cache; a second run in a fresh process must then replay
+# entirely from disk — zero recompiles, only disk hits — with the
+# same rnm2.  Counters come from the unlabelled OpenMetrics lines.
+native-smoke: build
+	mkdir -p results
+	rm -rf _mg_native
+	dune exec bin/mg_run.exe -- --impl sac --class S --kernels native --metrics-out=results/native-s.om > results/native-s.txt
+	cat results/native-s.txt
+	awk '/^kernel_native_total /{n=$$2} /^kernel_cfun_total /{c=$$2} /^kernel_generic_total /{g=$$2} \
+	  /^native_compiles_total /{k=$$2} /^native_compile_failures_total /{f=$$2} \
+	  END { nv=n+0; cv=c+0; gv=g+0; \
+	        if (nv == 0) { print "native-smoke: kernel.native never dispatched"; exit 1 }; \
+	        if (f+0 != 0) { print "native-smoke: " f " native compile failures"; exit 1 }; \
+	        if (k+0 == 0) { print "native-smoke: cold run compiled nothing"; exit 1 }; \
+	        if (nv * 10 < 9 * (nv + cv + gv)) { print "native-smoke: native takeover " nv " below 90% of " nv+cv+gv; exit 1 }; \
+	        print "native-smoke: cold run OK (native=" nv ", compiles=" k+0 ", failures=0)" }' results/native-s.om
+	dune exec bin/mg_run.exe -- --impl sac --class S --kernels native --metrics-out=results/native-s2.om > results/native-s2.txt
+	awk '/^native_compiles_total /{k=$$2} /^native_disk_hits_total /{d=$$2} /^native_compile_failures_total /{f=$$2} \
+	  END { if (k+0 != 0) { print "native-smoke: warm run recompiled " k " kernels (disk cache not replayed)"; exit 1 }; \
+	        if (d+0 == 0) { print "native-smoke: warm run loaded nothing from the disk cache"; exit 1 }; \
+	        if (f+0 != 0) { print "native-smoke: warm run recorded " f " compile failures"; exit 1 }; \
+	        print "native-smoke: disk-cache replay OK (disk_hits=" d+0 ", compiles=0)" }' results/native-s2.om
+	@r1=$$(sed -n 's/.*rnm2 = \([^ ]*\).*/\1/p' results/native-s.txt); \
+	  r2=$$(sed -n 's/.*rnm2 = \([^ ]*\).*/\1/p' results/native-s2.txt); \
+	  if [ "$$r1" != "$$r2" ]; then echo "native-smoke: rnm2 drifted across cache replay ($$r1 vs $$r2)"; exit 1; \
+	  else echo "native-smoke: rnm2 stable across replay ($$r1)"; fi
+
+check: build test smoke profile-smoke metrics-smoke native-smoke
 
 bench: build
 	dune exec bench/main.exe

@@ -151,10 +151,29 @@ let report results =
           None)
     rows
 
+(* MG_KERNELS selects the dispatch tier for bodies no fixed kernel
+   recognises (generic | cfun | native; default cfun, the O2+
+   default), so CI's profile-smoke can sample each tier with the same
+   binary.  Native keeps cfun on underneath as its degradation
+   target. *)
+let kernel_tier =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "MG_KERNELS") with
+  | Some "generic" -> "generic"
+  | Some "native" -> "native"
+  | _ -> "cfun"
+
 let () =
   Printf.printf "sac_mg benchmark suite (scaled-down classes; see bin/fig*.exe for full sizes)\n";
   (* Per-kernel ns/elt histograms ride along in the metrics section. *)
   Wl.set_kernel_timing true;
+  (match kernel_tier with
+  | "generic" ->
+      Wl.set_cfun false;
+      Wl.set_native false
+  | "native" ->
+      Wl.set_cfun true;
+      Wl.set_native true
+  | _ -> ());
   let all =
     List.concat_map
       (fun (tests, cfg) ->
@@ -179,6 +198,7 @@ let () =
         ("backend", Json.String (Mg_withloop.Backend.name (Wl.get_backend ())));
         ("reuse", Json.String (if Wl.get_reuse () then "on" else "off"));
         ("pooling", Json.String (if Wl.get_pooling () then "on" else "off"));
+        ("kernel_tier", Json.String kernel_tier);
         ("kernels",
          Json.Obj
            (List.map

@@ -20,9 +20,9 @@
      closures, with the kernel-dispatch counters showing which path
      actually ran.
 
-   The global --kernels=generic|cfun toggle forces the
+   The global --kernels=generic|cfun|native toggle forces the
    unrecognised-body path for every section, so the fusion/memory
-   tables (E4) can be re-measured both ways.  *)
+   tables (E4) can be re-measured each way.  *)
 
 open Mg_ndarray
 open Mg_core
@@ -74,7 +74,8 @@ let stencil_ablation n =
 let kernel_ablation n =
   Printf.printf "# Kernel-path ablation: one %d^3 interpolation sweep (coarse2fine, O3)\n" n;
   Printf.printf "# generic = interpreted per-element cluster walk;\n";
-  Printf.printf "# cfun = staged compiled closures (deltas unrolled, longest-axis rows).\n\n";
+  Printf.printf "# cfun = staged compiled closures (deltas unrolled, longest-axis rows);\n";
+  Printf.printf "# native = AOT-compiled shared-object kernels (dlopen'd C).\n\n";
   let mc = (n / 2) + 2 in
   let z =
     Ndarray.init [| mc; mc; mc |] (fun iv ->
@@ -82,29 +83,39 @@ let kernel_ablation n =
   in
   let c_generic = Mg_obs.Metrics.counter "kernel.generic" in
   let c_cfun = Mg_obs.Metrics.counter "kernel.cfun" in
-  let sweep cfun () =
+  let c_native = Mg_obs.Metrics.counter "kernel.native" in
+  let sweep ~cfun ~native () =
     Wl.with_cfun cfun (fun () ->
-        Wl.with_opt_level Wl.O3 (fun () ->
-            ignore (Wl.force (Mg_sac.coarse2fine (Wl.of_ndarray z)))))
+        Wl.with_native native (fun () ->
+            Wl.with_opt_level Wl.O3 (fun () ->
+                ignore (Wl.force (Mg_sac.coarse2fine (Wl.of_ndarray z))))))
   in
   let elements = float_of_int (n * n * n) in
   let rows =
     List.map
-      (fun (name, cfun) ->
-        let g0 = Mg_obs.Metrics.value c_generic and f0 = Mg_obs.Metrics.value c_cfun in
-        let t, () = Timing.best_of ~warmup:1 ~times:5 (sweep cfun) in
-        let g1 = Mg_obs.Metrics.value c_generic and f1 = Mg_obs.Metrics.value c_cfun in
+      (fun (name, cfun, native) ->
+        let g0 = Mg_obs.Metrics.value c_generic
+        and f0 = Mg_obs.Metrics.value c_cfun
+        and n0 = Mg_obs.Metrics.value c_native in
+        let t, () = Timing.best_of ~warmup:1 ~times:5 (sweep ~cfun ~native) in
+        let g1 = Mg_obs.Metrics.value c_generic
+        and f1 = Mg_obs.Metrics.value c_cfun
+        and n1 = Mg_obs.Metrics.value c_native in
         [ name;
           Printf.sprintf "%.3f ms" (t *. 1e3);
           Printf.sprintf "%.1f ns" (t /. elements *. 1e9);
           string_of_int (g1 - g0);
           string_of_int (f1 - f0);
+          string_of_int (n1 - n0);
         ])
-      [ ("generic cluster nest", false); ("compiled cfun closures", true) ]
+      [ ("generic cluster nest", false, false);
+        ("compiled cfun closures", true, false);
+        ("AOT native kernels", true, true);
+      ]
   in
   Table.render Format.std_formatter
-    ~header:[ "kernel path"; "sweep time"; "per element"; "generic hits"; "cfun hits" ]
-    ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R ] rows
+    ~header:[ "kernel path"; "sweep time"; "per element"; "generic hits"; "cfun hits"; "native hits" ]
+    ~align:[ Table.L; Table.R; Table.R; Table.R; Table.R; Table.R ] rows
 
 let fusion_ablation (cls : Classes.t) =
   Printf.printf "# With-loop folding ablation: %s at O0..O3\n" cls.Classes.name;
@@ -284,9 +295,12 @@ let run stencil fusion memory periodic kernelpath reuse kernels n cls =
   in
   (* A scoped engine derivation, not Wl.set_cfun: the override is
      gone when the sections return, and the binary stays usable under
-     MG_ENGINE_STRICT=1. *)
+     MG_ENGINE_STRICT=1.  Native keeps cfun on underneath as its
+     degradation target. *)
   (match kernels with
-  | Some k -> Wl.with_cfun k run_sections
+  | Some `Generic -> Wl.with_cfun false (fun () -> Wl.with_native false run_sections)
+  | Some `Cfun -> Wl.with_cfun true (fun () -> Wl.with_native false run_sections)
+  | Some `Native -> Wl.with_cfun true (fun () -> Wl.with_native true run_sections)
   | None -> run_sections ());
   0
 
@@ -305,11 +319,11 @@ let reuse_arg =
 
 let kernels_arg =
   Arg.(value
-       & opt (some (enum [ ("generic", false); ("cfun", true) ])) None
+       & opt (some (enum [ ("generic", `Generic); ("cfun", `Cfun); ("native", `Native) ])) None
        & info [ "kernels" ] ~docv:"PATH"
            ~doc:"Force the kernel path for unrecognised bodies in every section: \
-                 $(b,generic) (interpreted cluster nest) or $(b,cfun) (staged compiled \
-                 closures, the O2+ default).")
+                 $(b,generic) (interpreted cluster nest), $(b,cfun) (staged compiled \
+                 closures, the O2+ default) or $(b,native) (AOT shared-object kernels).")
 
 let n_arg = Arg.(value & opt int 64 & info [ "n"; "extent" ] ~docv:"N" ~doc:"Grid extent for the stencil ablation.")
 

@@ -11,9 +11,19 @@
 open Mg_core
 module Table = Mg_bench_util.Bench_util.Table
 
-let run classes repeats csv =
+let run classes repeats csv kernels =
   Exp_common.header ();
   Printf.printf "# Figure 11: single-processor runtimes (best of %d)\n\n" repeats;
+  (* A scoped engine derivation (strict-safe): the SAC leg's kernel
+     tier for unrecognised bodies; F77/C are unaffected. *)
+  let with_kernels f =
+    match kernels with
+    | Some `Generic -> Mg_withloop.Wl.with_cfun false (fun () -> Mg_withloop.Wl.with_native false f)
+    | Some `Cfun -> Mg_withloop.Wl.with_cfun true (fun () -> Mg_withloop.Wl.with_native false f)
+    | Some `Native -> Mg_withloop.Wl.with_cfun true (fun () -> Mg_withloop.Wl.with_native true f)
+    | None -> f ()
+  in
+  with_kernels @@ fun () ->
   let rows = ref [] in
   List.iter
     (fun (cls : Classes.t) ->
@@ -72,9 +82,17 @@ let repeats_arg =
 
 let csv_arg = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV.")
 
+let kernels_arg =
+  Arg.(value
+       & opt (some (enum [ ("generic", `Generic); ("cfun", `Cfun); ("native", `Native) ])) None
+       & info [ "kernels" ] ~docv:"PATH"
+           ~doc:"Kernel path for the SAC implementation's unrecognised bodies: \
+                 $(b,generic), $(b,cfun) (the O2+ default) or $(b,native) (AOT \
+                 shared-object kernels).")
+
 let cmd =
   Cmd.v
     (Cmd.info "fig11" ~doc:"reproduce Fig. 11: single-processor performance")
-    Term.(const run $ classes_arg $ repeats_arg $ csv_arg)
+    Term.(const run $ classes_arg $ repeats_arg $ csv_arg $ kernels_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -62,8 +62,17 @@ let run impl cls opt threads sched tile backend kernels reuse pooling profile me
   let trace = List.mem Ptrace modes in
   let observe = List.exists (function Preport | Pchrome _ -> true | Ptrace -> false) modes in
   if observe then Mg_withloop.Wl.set_kernel_timing true;
+  (* Tier ladder: native keeps cfun on underneath as its degradation
+     target; generic switches both staging tiers off. *)
+  let cfun, native =
+    match kernels with
+    | Some `Generic -> (Some false, Some false)
+    | Some `Cfun -> (Some true, Some false)
+    | Some `Native -> (Some true, Some true)
+    | None -> (None, None)
+  in
   let drive () =
-    Driver.run ~opt ~threads ~sched ~backend ?cfun:kernels ?reuse ?pooling ~trace ~impl ~cls ()
+    Driver.run ~opt ~threads ~sched ~backend ?cfun ?native ?reuse ?pooling ~trace ~impl ~cls ()
   in
   let result =
     if observe then begin
@@ -181,11 +190,12 @@ let backend_arg =
 
 let kernels_arg =
   Arg.(value
-       & opt (some (enum [ ("generic", false); ("cfun", true) ])) None
+       & opt (some (enum [ ("generic", `Generic); ("cfun", `Cfun); ("native", `Native) ])) None
        & info [ "kernels" ] ~docv:"PATH"
            ~doc:"Kernel path for bodies no fixed kernel recognises: $(b,generic) \
-                 (interpreted cluster nest) or $(b,cfun) (staged compiled closures, the \
-                 O2+ default).")
+                 (interpreted cluster nest), $(b,cfun) (staged compiled closures, the \
+                 O2+ default) or $(b,native) (AOT: emit C, compile to a disk-cached \
+                 shared object, dlopen; degrades to cfun when the toolchain refuses).")
 
 let reuse_arg =
   Arg.(value

@@ -28,6 +28,7 @@ val run :
   ?sched:Sched_policy.t ->
   ?backend:Backend.t ->
   ?cfun:bool ->
+  ?native:bool ->
   ?reuse:bool ->
   ?pooling:bool ->
   ?line_buffers:bool ->

@@ -18,6 +18,10 @@ type config = {
   split_threshold : int;
   line_buffers : bool;
   cfun : bool;
+  native : bool;
+  native_cache : string option;
+      (* AOT shared-object cache directory; [None] = the [_mg_native]
+         default resolved at settings time. *)
   reuse : bool;
   pooling : bool;
   observe : bool;
@@ -35,6 +39,8 @@ let default_config =
     split_threshold = 2048;
     line_buffers = true;
     cfun = true;
+    native = false;
+    native_cache = None;
     reuse = true;
     pooling = true;
     observe = true;
@@ -61,8 +67,15 @@ let config_of_env ?(getenv = Sys.getenv_opt) () =
         match int_of_string_opt (String.trim v) with Some n when n >= 1 -> n | _ -> c.threads)
     | None -> c.threads
   in
+  let native_cache =
+    match getenv "MG_NATIVE_CACHE" with
+    | Some v when String.trim v <> "" -> Some (String.trim v)
+    | _ -> c.native_cache
+  in
   { c with
     threads;
+    native = flag "MG_NATIVE" c.native;
+    native_cache;
     reuse = flag "MG_REUSE" c.reuse;
     pooling = flag "MG_POOLING" c.pooling;
     observe = flag "MG_OBSERVE" c.observe;
@@ -255,21 +268,27 @@ let settings e : Exec.settings =
      folding: O0/O1 keep the interpreted generic nest and fresh
      allocations so the ablation harness can isolate each
      optimisation. *)
-  let fusion, factor, cfun_on, reuse_on =
+  let fusion, factor, cfun_on, native_on, reuse_on =
     match c.opt_level with
     | O0 ->
-        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, false, false, false)
+        ( { Fusion.fold = false; split_strided = false; split_threshold = t },
+          false, false, false, false )
     | O1 ->
-        ({ Fusion.fold = false; split_strided = false; split_threshold = t }, true, false, false)
+        ( { Fusion.fold = false; split_strided = false; split_threshold = t },
+          true, false, false, false )
     | O2 ->
-        ({ Fusion.fold = true; split_strided = false; split_threshold = t }, true, c.cfun, c.reuse)
+        ( { Fusion.fold = true; split_strided = false; split_threshold = t },
+          true, c.cfun, c.native, c.reuse )
     | O3 ->
-        ({ Fusion.fold = true; split_strided = true; split_threshold = t }, true, c.cfun, c.reuse)
+        ( { Fusion.fold = true; split_strided = true; split_threshold = t },
+          true, c.cfun, c.native, c.reuse )
   in
   { Exec.fusion;
     factor;
     line_buffers = c.line_buffers;
     cfun = cfun_on;
+    native =
+      (if native_on then Some (Option.value c.native_cache ~default:"_mg_native") else None);
     reuse = reuse_on;
     pooling = c.pooling;
     observe = c.observe;
@@ -300,10 +319,10 @@ let opt_level_to_string_ = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 ->
 let config_fingerprint e =
   let c = e.config in
   let flag name b = if b then name else "-" ^ name in
-  Printf.sprintf "%s t%d %s %s %s %s %s sched=%s backend=%s"
+  Printf.sprintf "%s t%d %s %s %s %s %s %s sched=%s backend=%s"
     (opt_level_to_string_ c.opt_level)
-    c.threads (flag "lb" c.line_buffers) (flag "cfun" c.cfun) (flag "reuse" c.reuse)
-    (flag "pool" c.pooling) (flag "obs" c.observe)
+    c.threads (flag "lb" c.line_buffers) (flag "cfun" c.cfun) (flag "nt" c.native)
+    (flag "reuse" c.reuse) (flag "pool" c.pooling) (flag "obs" c.observe)
     (Sched_policy.to_string c.sched)
     (Backend.name c.backend)
 
@@ -318,6 +337,8 @@ let scope_counters =
     "mempool.pool_hits";
     "mempool.reuse_hits";
     "mempool.alloc_bytes";
+    "native.compiles";
+    "native.compile_failures";
   ]
 
 let scope_histograms =

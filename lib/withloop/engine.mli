@@ -29,6 +29,13 @@ type config = {
   split_threshold : int;  (** Minimum cardinality for generator splitting. *)
   line_buffers : bool;  (** Line-buffered box-stencil kernels. *)
   cfun : bool;  (** Staged kernel compilation (effective at O2+). *)
+  native : bool;
+      (** AOT native backend: emit C for staged kernels, compile to
+          shared objects, [dlopen] at solve time (effective at O2+;
+          degrades to [cfun]/generic when the toolchain refuses). *)
+  native_cache : string option;
+      (** Shared-object cache directory for the native backend;
+          [None] resolves to ["_mg_native"] at settings time. *)
   reuse : bool;  (** Buffer-reuse analysis (effective at O2+). *)
   pooling : bool;  (** Draw buffers from the {!Mempool} arenas. *)
   observe : bool;
@@ -45,10 +52,12 @@ val default_config : config
 
 val config_of_env : ?getenv:(string -> string option) -> unit -> config
 (** {!default_config} overridden by the environment: [MG_PROCS]
-    (thread count, [>= 1]), [MG_REUSE], [MG_POOLING], [MG_OBSERVE]
-    (booleans: [0]/[off]/[false]/[no] and [1]/[on]/[true]/[yes]).
-    This is the one place environment variables are parsed; pass
-    [~getenv] to test the parsing hermetically. *)
+    (thread count, [>= 1]), [MG_NATIVE], [MG_REUSE], [MG_POOLING],
+    [MG_OBSERVE] (booleans: [0]/[off]/[false]/[no] and
+    [1]/[on]/[true]/[yes]), and [MG_NATIVE_CACHE] (the AOT
+    shared-object cache directory; blank is ignored).  This is the
+    one place environment variables are parsed; pass [~getenv] to
+    test the parsing hermetically. *)
 
 type t
 (** One engine: a config, a private plan cache, an execution pool. *)

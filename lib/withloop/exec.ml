@@ -18,6 +18,7 @@ type settings = {
   factor : bool;
   line_buffers : bool;
   cfun : bool;
+  native : string option;  (* AOT cache dir; [None] = native tier off *)
   reuse : bool;
   pooling : bool;
   observe : bool;
@@ -151,9 +152,9 @@ let reuse_candidate (n : Ir.node) shape (compiled : Plan.compiled list) =
    absent: the parallel split is applied at execution time, so one
    plan serves any pool size, policy and backend. *)
 let env_of st =
-  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;cf=%b;ru=%b;" st.fusion.Fusion.fold
-    st.fusion.Fusion.split_strided st.fusion.Fusion.split_threshold st.factor st.line_buffers
-    st.cfun st.reuse
+  Printf.sprintf "v1;fold=%b;ss=%b;st=%d;fac=%b;lb=%b;cf=%b;ru=%b;nt=%b;"
+    st.fusion.Fusion.fold st.fusion.Fusion.split_strided st.fusion.Fusion.split_threshold
+    st.factor st.line_buffers st.cfun st.reuse (st.native <> None)
 
 (* ------------------------------------------------------------------ *)
 (* Forcing                                                             *)
@@ -385,7 +386,7 @@ and force_slow st (n : Ir.node) (record : (string * Ir.source array) option) : N
         else
           Some
             (Plan.compile_part ~factor:st.factor ~line_buffers:st.line_buffers ~cfun:st.cfun
-               ~ostrides p))
+               ~native:st.native ~ostrides p))
       parts
   in
   let compile_cost = Clock.now () -. cstart -. (!child_time -. child0) in

@@ -40,6 +40,12 @@ type settings = {
       (** Stage rank-3 bodies no fixed kernel recognises into {!Cfun}
           compiled closures instead of the interpreted generic nest
           (on at [O2]+ via {!Wl.settings}). *)
+  native : string option;
+      (** AOT-compile those same bodies to shared-object kernels via
+          {!Native}, with this cache directory ([None] = tier off).
+          Failures degrade to the [cfun]/generic tiers transparently;
+          the flag is part of the plan-cache env fingerprint (the
+          [nt] bit). *)
   reuse : bool;
       (** Buffer-reuse analysis — SAC's in-place update: a fully
           covered sweep whose operand dies at this node and is only

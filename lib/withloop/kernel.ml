@@ -12,6 +12,7 @@ let c_copy = Metrics.counter "kernel.copy"
 let c_generic = Metrics.counter "kernel.generic"
 let c_interp = Metrics.counter "kernel.interp"
 let c_cfun = Metrics.counter "kernel.cfun"
+let c_native = Metrics.counter "kernel.native"
 
 (* Per-kernel ns/elt histograms (log₂ buckets).  Timing is off by
    default — two clock reads per piece would tax production runs — and
@@ -26,6 +27,7 @@ let h_copy = Metrics.histogram "kernel.ns_elt.copy"
 let h_generic = Metrics.histogram "kernel.ns_elt.generic"
 let h_interp = Metrics.histogram "kernel.ns_elt.interp"
 let h_cfun = Metrics.histogram "kernel.ns_elt.cfun"
+let h_native = Metrics.histogram "kernel.ns_elt.native"
 
 let counters () =
   [ ("stencil", Metrics.value c_stencil);
@@ -34,12 +36,13 @@ let counters () =
     ("generic", Metrics.value c_generic);
     ("interp", Metrics.value c_interp);
     ("cfun", Metrics.value c_cfun);
+    ("native", Metrics.value c_native);
   ]
 
 let reset_counters () =
   List.iter
     (fun c -> Metrics.set_counter c 0)
-    [ c_stencil; c_linebuf; c_copy; c_generic; c_interp; c_cfun ]
+    [ c_stencil; c_linebuf; c_copy; c_generic; c_interp; c_cfun; c_native ]
 
 (* ------------------------------------------------------------------ *)
 (* Execution of a compiled linear part                                 *)
@@ -603,6 +606,7 @@ type k3 =
   | K3zip
   | K3flat
   | K3cfun of Cfun.t
+  | K3native of Native.fn
   | K3generic
 
 let k3_name = function
@@ -612,15 +616,18 @@ let k3_name = function
   | K3zip -> "zip"
   | K3flat -> "flat"
   | K3cfun _ -> "cfun"
+  | K3native _ -> "native"
   | K3generic -> "generic"
 
 (* Rebuild a stencil payload against (freshly bound and/or base-shifted)
    clusters; [koff0]/[koff1] are the payload's displacement in whole
    axis-0/axis-1 steps (tiled pieces displace along both).  Compiled
    cfun kernels read buffers and bases from the live cluster array at
-   run time, so they need no rebinding at all. *)
+   run time, so they need no rebinding at all — and native kernels
+   gather buffers and bases from the live clusters at each call
+   ([Native.call]), likewise. *)
 let rebind_k3 (clusters : ccluster array) ~koff0 ~koff1 = function
-  | (K3copy | K3zip | K3flat | K3cfun _ | K3generic) as k -> k
+  | (K3copy | K3zip | K3flat | K3cfun _ | K3native _ | K3generic) as k -> k
   | K3stencil (s, si, eidx) ->
       K3stencil
         ( { s with
@@ -658,7 +665,15 @@ let debug_generic (clusters : ccluster array) =
                             cl.xcoeffs cl.xdeltas))))
                clusters)))
 
-let choose_k3 ~line_buffers ~cfun ~const (clusters : ccluster array) ~osteps =
+(* [native] carries the AOT cache directory when the native tier is
+   on.  The tier ladder for unrecognised bodies is native → cfun →
+   generic: a native compile that cannot be had (unsupported shape,
+   missing compiler, rejected object) degrades to whatever the next
+   tier offers.  Native deliberately takes over only this rung — the
+   fixed kernels above it are shared by every tier, so the bitwise
+   identity gate across tiers reduces to the one path native
+   replicates (the generic nest's accumulation order). *)
+let choose_k3 ~line_buffers ~cfun ~native ~const (clusters : ccluster array) ~osteps =
   if is_plain_copy ~const clusters ~osteps then K3copy
   else
     match recognize_stencil3 clusters ~osteps with
@@ -679,7 +694,20 @@ let choose_k3 ~line_buffers ~cfun ~const (clusters : ccluster array) ~osteps =
       when Array.length clusters = 1
            && Array.fold_left (fun acc ds -> acc + Array.length ds) 0 clusters.(0).xdeltas <= 8 ->
         K3flat
-    | None when cfun -> K3cfun (Cfun.compile ~const clusters ~osteps)
+    | None when cfun || native <> None -> (
+        let natively =
+          match native with
+          | Some cache_dir -> Native.compile ~cache_dir ~const clusters ~osteps
+          | None -> None
+        in
+        match natively with
+        | Some nf -> K3native nf
+        | None ->
+            if cfun then K3cfun (Cfun.compile ~const clusters ~osteps)
+            else begin
+              debug_generic clusters;
+              K3generic
+            end)
     | None ->
         debug_generic clusters;
         K3generic
@@ -716,6 +744,9 @@ let run_k3_untimed ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~
   | K3cfun f ->
       Metrics.incr c_cfun;
       Cfun.run f clusters out ~obase ~osteps ~counts
+  | K3native nf ->
+      Metrics.incr c_native;
+      Native.call nf clusters out ~obase ~counts
   | K3generic ->
       Metrics.incr c_generic;
       run_generic3 ~const clusters out ~obase ~osteps ~counts
@@ -726,6 +757,7 @@ let h_of = function
   | K3stencil_lb _ -> h_linebuf
   | K3zip | K3flat -> h_interp
   | K3cfun _ -> h_cfun
+  | K3native _ -> h_native
   | K3generic -> h_generic
 
 (* The per-engine shard of the same family, routed through the
@@ -736,6 +768,7 @@ let hname_of = function
   | K3stencil_lb _ -> "kernel.ns_elt.linebuf"
   | K3zip | K3flat -> "kernel.ns_elt.interp"
   | K3cfun _ -> "kernel.ns_elt.cfun"
+  | K3native _ -> "kernel.ns_elt.native"
   | K3generic -> "kernel.ns_elt.generic"
 
 let run_k3 ~const k (clusters : ccluster array) (out : Ndarray.buffer) ~obase ~osteps

@@ -23,6 +23,7 @@ val c_copy : Mg_obs.Metrics.counter
 val c_generic : Mg_obs.Metrics.counter
 val c_interp : Mg_obs.Metrics.counter
 val c_cfun : Mg_obs.Metrics.counter
+val c_native : Mg_obs.Metrics.counter
 
 val counters : unit -> (string * int) list
 (** All counters as [(name, count)] pairs, in a stable order (names
@@ -52,12 +53,20 @@ type k3
 val k3_name : k3 -> string
 
 val choose_k3 :
-  line_buffers:bool -> cfun:bool -> const:float -> Cluster.ccluster array -> osteps:int array -> k3
+  line_buffers:bool ->
+  cfun:bool ->
+  native:string option ->
+  const:float ->
+  Cluster.ccluster array ->
+  osteps:int array ->
+  k3
 (** Recognise the part's kernel: identity copy, box stencil (line
     buffered when [line_buffers] and the inner walk is unit), zip of
     single reads, flat-weighted single cluster — and for everything
-    else, a {!Cfun}-compiled closure when [cfun], the interpreted
-    generic nest otherwise. *)
+    else the tier ladder: a {!Native}-compiled shared-object kernel
+    when [native] carries the AOT cache directory (degrading through
+    the ladder when the toolchain refuses), a {!Cfun}-compiled
+    closure when [cfun], the interpreted generic nest otherwise. *)
 
 val rebind_k3 : Cluster.ccluster array -> koff0:int -> koff1:int -> k3 -> k3
 (** Rebuild a kernel payload against clusters that were rebound to

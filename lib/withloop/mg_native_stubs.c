@@ -1,0 +1,75 @@
+/* dlopen/dlsym/call shim for the native AOT backend (no ctypes
+   dependency).  Handles and function addresses cross the FFI as
+   nativeint; shared objects are never dlclose()d while the process
+   lives, so an address, once bound, stays valid for any replay.
+
+   mg_native_call extracts the Bigarray data pointers and copies the
+   dims into C longs BEFORE releasing the runtime lock: OCaml heap
+   values may move during a GC on another domain, but Bigarray data
+   lives outside the heap, so the extracted pointers are stable for
+   the duration of the call. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/bigarray.h>
+#include <caml/threads.h>
+#include <dlfcn.h>
+
+CAMLprim value mg_native_dlopen(value vpath)
+{
+  CAMLparam1(vpath);
+  void *h;
+  dlerror();
+  h = dlopen(String_val(vpath), RTLD_NOW | RTLD_LOCAL);
+  CAMLreturn(caml_copy_nativeint((intnat)h));
+}
+
+CAMLprim value mg_native_dlsym(value vhandle, value vname)
+{
+  CAMLparam2(vhandle, vname);
+  void *s;
+  dlerror();
+  s = dlsym((void *)Nativeint_val(vhandle), String_val(vname));
+  CAMLreturn(caml_copy_nativeint((intnat)s));
+}
+
+CAMLprim value mg_native_dlerror(value vunit)
+{
+  const char *e = dlerror();
+  (void)vunit;
+  return caml_copy_string(e ? e : "unknown dlopen/dlsym failure");
+}
+
+typedef void (*mg_kernel_fn)(double **, const long *, long, long);
+
+#define MG_MAX_SLOTS 64
+#define MG_MAX_DIMS 128
+
+CAMLprim value mg_native_call(value vfn, value vslots, value vdims, value vlo, value vhi)
+{
+  mg_kernel_fn fn = (mg_kernel_fn)Nativeint_val(vfn);
+  double *slots[MG_MAX_SLOTS];
+  long dims[MG_MAX_DIMS];
+  mlsize_t ns = Wosize_val(vslots);
+  mlsize_t nd = Wosize_val(vdims);
+  mlsize_t i;
+  long lo = Long_val(vlo), hi = Long_val(vhi);
+  if (ns > MG_MAX_SLOTS || nd > MG_MAX_DIMS)
+    caml_failwith("mg_native_call: slot/dim count exceeds the shim bound");
+  for (i = 0; i < ns; i++)
+    slots[i] = (double *)Caml_ba_data_val(Field(vslots, i));
+  for (i = 0; i < nd; i++)
+    dims[i] = Long_val(Field(vdims, i));
+  caml_release_runtime_system();
+  fn(slots, dims, lo, hi);
+  caml_acquire_runtime_system();
+  return Val_unit;
+}
+
+CAMLprim value mg_native_call_bytecode(value *argv, int argn)
+{
+  (void)argn;
+  return mg_native_call(argv[0], argv[1], argv[2], argv[3], argv[4]);
+}

@@ -30,7 +30,7 @@ type compiled =
 let compiled_card = function Ccompiled c -> c.kcard | Cclosure (_, card, _) -> card
 let compiled_gen = function Ccompiled c -> c.kgen | Cclosure (g, _, _) -> g
 
-let compile_part ~factor ~line_buffers ~cfun ~ostrides (p : Ir.part) : compiled =
+let compile_part ~factor ~line_buffers ~cfun ~native ~ostrides (p : Ir.part) : compiled =
   let gen = p.Ir.gen in
   let card = Generator.cardinal gen in
   match Span.with_ ~name:"wl:linform" (fun () -> Linform.of_expr p.Ir.body) with
@@ -49,7 +49,8 @@ let compile_part ~factor ~line_buffers ~cfun ~ostrides (p : Ir.part) : compiled 
                 if Array.length ax.Cluster.counts = 3 then
                   Some
                     (Span.with_ ~name:"wl:kernel-choice" (fun () ->
-                         Kernel.choose_k3 ~line_buffers ~cfun ~const clusters ~osteps:kosteps))
+                         Kernel.choose_k3 ~line_buffers ~cfun ~native ~const clusters
+                           ~osteps:kosteps))
                 else None
               in
               Ccompiled
@@ -122,7 +123,12 @@ let strip_cpart (cp : cpart) = rebind_cpart cp (fun _ -> dummy_buf)
    the first of which overwrites the whole row before later passes
    accumulate.  An aliased buffer read by any pass but the first would
    see partially accumulated values, so for [K3cfun] the aliased cluster
-   must be the first cluster and contribute exactly one pass. *)
+   must be the first cluster and contribute exactly one pass.
+   [K3native] follows the generic nest's discipline — each element's
+   reads complete before its single write — so the per-cluster
+   identity rule alone suffices for it, like the interpreted nest
+   (the emitted C never carries [restrict] on the output pointer, so
+   the C compiler must honour the aliasing too). *)
 
 let cluster_identity (cp : cpart) (cl : Cluster.ccluster) =
   cl.Cluster.xbase = cp.kobase

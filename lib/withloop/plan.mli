@@ -32,11 +32,18 @@ val compiled_card : compiled -> int
 val compiled_gen : compiled -> Generator.t
 
 val compile_part :
-  factor:bool -> line_buffers:bool -> cfun:bool -> ostrides:int array -> Ir.part -> compiled
+  factor:bool ->
+  line_buffers:bool ->
+  cfun:bool ->
+  native:string option ->
+  ostrides:int array ->
+  Ir.part ->
+  compiled
 (** Linear-form extraction, clustering, output layout, kernel choice
-    ([cfun] stages unrecognised bodies into {!Cfun} closures instead
-    of the interpreted generic nest); [Cclosure] when any stage fails
-    to apply. *)
+    ([native] — the AOT cache directory when the native tier is on —
+    and [cfun] stage unrecognised bodies into {!Native} shared-object
+    kernels or {!Cfun} closures instead of the interpreted generic
+    nest); [Cclosure] when any stage fails to apply. *)
 
 (** {1 Cached plans} *)
 

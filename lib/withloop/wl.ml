@@ -70,6 +70,10 @@ let set_cfun b = Engine.update_default ~shim:"Wl.set_cfun" (fun c -> { c with En
 let get_cfun () = (cfg ()).Engine.cfun
 let with_cfun b f = with_config (fun c -> { c with Engine.cfun = b }) f
 
+let set_native b = Engine.update_default ~shim:"Wl.set_native" (fun c -> { c with Engine.native = b })
+let get_native () = (cfg ()).Engine.native
+let with_native b f = with_config (fun c -> { c with Engine.native = b }) f
+
 let set_reuse b = Engine.update_default ~shim:"Wl.set_reuse" (fun c -> { c with Engine.reuse = b })
 let get_reuse () = (cfg ()).Engine.reuse
 let with_reuse b f = with_config (fun c -> { c with Engine.reuse = b }) f

@@ -150,6 +150,17 @@ val set_cfun : bool -> unit
 val get_cfun : unit -> bool
 val with_cfun : bool -> (unit -> 'a) -> 'a
 
+val set_native : bool -> unit
+(** Enable the AOT native backend (default [false], effective at
+    O2+): bodies the cfun tier would stage are instead emitted as C,
+    compiled with the system C compiler into shared objects cached
+    under [MG_NATIVE_CACHE] (default [_mg_native/]) and [dlopen]ed.
+    Compile failures degrade to the {!set_cfun} tier transparently.
+    Results are bitwise identical to every other tier. *)
+
+val get_native : unit -> bool
+val with_native : bool -> (unit -> 'a) -> 'a
+
 val set_reuse : bool -> unit
 (** Enable buffer-reuse analysis (default [true], effective at O2+):
     a fully covered sweep whose operand's reference count shows it dies

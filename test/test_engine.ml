@@ -230,10 +230,30 @@ let test_strict_mode_rejects_shim () =
            Wl.set_opt_level Wl.O1;
            false
          with Failure _ -> true);
+      Alcotest.(check bool) "set_native raises" true
+        (try
+           Wl.set_native true;
+           false
+         with Failure _ -> true);
       (* Scoped combinators derive instead of mutating: still legal. *)
       let got = Wl.with_opt_level Wl.O1 (fun () -> Wl.get_opt_level ()) in
       Alcotest.(check string) "with_opt_level works under strict" "O1"
-        (Wl.opt_level_to_string got))
+        (Wl.opt_level_to_string got);
+      Alcotest.(check bool) "with_native works under strict" true
+        (Wl.with_native true (fun () -> Wl.get_native ())))
+
+(* The native flag must show in the flight-recorder config digest, so
+   two otherwise identical engines differing only in the AOT tier are
+   distinguishable in post-mortem records. *)
+let test_native_in_fingerprint () =
+  let e = test_engine () in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      let on = Engine.derive e (fun c -> { c with Engine.native = true }) in
+      let off = Engine.derive e (fun c -> { c with Engine.native = false }) in
+      Alcotest.(check bool) "nt bit splits the fingerprint" true
+        (Engine.config_fingerprint on <> Engine.config_fingerprint off))
 
 (* ------------------------------------------------------------------ *)
 (* Env parsing (hermetic via ~getenv)                                  *)
@@ -244,6 +264,8 @@ let test_config_of_env () =
     | "MG_REUSE" -> Some "0"
     | "MG_POOLING" -> Some "off"
     | "MG_OBSERVE" -> Some "1"
+    | "MG_NATIVE" -> Some "on"
+    | "MG_NATIVE_CACHE" -> Some " /tmp/mg-so-cache "
     | _ -> None
   in
   let c = Engine.config_of_env ~getenv:(fun k -> fake k) () in
@@ -251,6 +273,9 @@ let test_config_of_env () =
   Alcotest.(check bool) "MG_REUSE=0" false c.Engine.reuse;
   Alcotest.(check bool) "MG_POOLING=off" false c.Engine.pooling;
   Alcotest.(check bool) "MG_OBSERVE=1" true c.Engine.observe;
+  Alcotest.(check bool) "MG_NATIVE=on" true c.Engine.native;
+  Alcotest.(check (option string)) "MG_NATIVE_CACHE trimmed" (Some "/tmp/mg-so-cache")
+    c.Engine.native_cache;
   let d = Engine.config_of_env ~getenv:(fun _ -> None) () in
   (* Field-wise: config carries a first-class backend module, so
      polymorphic equality would be invalid. *)
@@ -260,11 +285,18 @@ let test_config_of_env () =
     && d.Engine.reuse = dd.Engine.reuse
     && d.Engine.pooling = dd.Engine.pooling
     && d.Engine.observe = dd.Engine.observe
+    && d.Engine.native = dd.Engine.native
+    && d.Engine.native_cache = dd.Engine.native_cache
     && d.Engine.opt_level = dd.Engine.opt_level);
-  (* Garbage values fall back to the defaults rather than raising. *)
+  Alcotest.(check bool) "native off by default" false d.Engine.native;
+  (* Garbage values fall back to the defaults rather than raising;
+     a blank MG_NATIVE_CACHE is ignored. *)
   let g = Engine.config_of_env ~getenv:(fun _ -> Some "wat") () in
   Alcotest.(check int) "bad MG_PROCS ignored" d.Engine.threads g.Engine.threads;
-  Alcotest.(check bool) "bad MG_REUSE ignored" d.Engine.reuse g.Engine.reuse
+  Alcotest.(check bool) "bad MG_REUSE ignored" d.Engine.reuse g.Engine.reuse;
+  Alcotest.(check bool) "bad MG_NATIVE ignored" d.Engine.native g.Engine.native;
+  let blank = Engine.config_of_env ~getenv:(function "MG_NATIVE_CACHE" -> Some "  " | _ -> None) () in
+  Alcotest.(check (option string)) "blank MG_NATIVE_CACHE ignored" None blank.Engine.native_cache
 
 (* Derived engines share the parent's cache; created ones do not. *)
 let test_derive_shares_cache () =
@@ -288,6 +320,8 @@ let suite =
       Alcotest.test_case "concurrent two-engine telemetry attribution" `Quick
         test_concurrent_telemetry_attribution;
       Alcotest.test_case "strict mode rejects shim mutation" `Quick test_strict_mode_rejects_shim;
+      Alcotest.test_case "native flag splits the config fingerprint" `Quick
+        test_native_in_fingerprint;
       Alcotest.test_case "config_of_env parses the matrix vars" `Quick test_config_of_env;
       Alcotest.test_case "derive shares cache, create does not" `Quick test_derive_shares_cache;
     ] )

@@ -158,8 +158,11 @@ let qcheck_cfun_bitwise_generic =
     arb_cfun_spec
     (fun s ->
       let c_cfun = Mg_obs.Metrics.counter "kernel.cfun" in
+      (* Native off: this test pins the cfun tier specifically, and an
+         MG_NATIVE=1 environment would otherwise take over the rung. *)
       let force cfun =
-        Wl.with_cfun cfun (fun () -> Wl.with_opt_level Wl.O3 (fun () -> force_spec s))
+        Wl.with_native false (fun () ->
+            Wl.with_cfun cfun (fun () -> Wl.with_opt_level Wl.O3 (fun () -> force_spec s)))
       in
       let before = Mg_obs.Metrics.value c_cfun in
       let compiled = force true in

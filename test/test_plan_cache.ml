@@ -131,6 +131,29 @@ let test_line_buffers_env_split () =
   check_exact "plain replay stable" plain (force_with false);
   check_exact "buffered replay stable" buffered (force_with true)
 
+(* The nt bit: a plan compiled for the native tier must not be served
+   to a cfun force and vice versa — the stored kernel payloads differ
+   (dlopen'd function pointer vs staged closure) even though the
+   results are bitwise identical.  coarse2fine's strided parts reach
+   the unrecognised-body rung, so the native tier genuinely engages. *)
+let test_native_env_split () =
+  Wl.cache_clear ();
+  let shp = [| 10; 10; 10 |] in
+  let src = src_of_seed shp 8 in
+  let force_with nt =
+    Wl.with_native nt (fun () ->
+        Wl.force (Mg_core.Mg_sac.coarse2fine (Wl.of_ndarray src)))
+  in
+  let plain = force_with false in
+  let s1 = Wl.cache_stats () in
+  let native = force_with true in
+  let s2 = Wl.cache_stats () in
+  Alcotest.(check bool) "native force misses (nt bit splits the key)" true
+    (s2.Plan_cache.misses > s1.Plan_cache.misses);
+  check_exact "native tier bitwise equals cfun tier" plain native;
+  check_exact "plain replay stable" plain (force_with false);
+  check_exact "native replay stable" native (force_with true)
+
 let test_cache_clear_resets () =
   Wl.cache_clear ();
   let src = src_of_seed [| 12; 12 |] 7 in
@@ -167,6 +190,7 @@ let suite =
       Alcotest.test_case "opt levels do not collide" `Quick test_opt_levels_do_not_collide;
       Alcotest.test_case "thread round-trip hits, identical" `Quick test_threads_round_trip;
       Alcotest.test_case "line-buffer setting splits the env" `Quick test_line_buffers_env_split;
+      Alcotest.test_case "native setting splits the env" `Quick test_native_env_split;
       Alcotest.test_case "cache_clear resets store and stats" `Quick test_cache_clear_resets;
       QCheck_alcotest.to_alcotest qcheck_replay_matches_cold;
     ] )

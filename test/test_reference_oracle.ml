@@ -215,11 +215,12 @@ let build s =
 (* ------------------------------------------------------------------ *)
 (* Running both sides                                                   *)
 
-let exec_settings ~reuse ~cfun sched : Exec.settings =
+let exec_settings ?(native = None) ~reuse ~cfun sched : Exec.settings =
   { Exec.fusion = { Fusion.fold = false; split_strided = false; split_threshold = 2048 };
     factor = false;
     line_buffers = false;
     cfun;
+    native;
     reuse;
     pooling = Mempool.get_pooling ();
     observe = true;
@@ -453,6 +454,187 @@ let test_assert_unpooled () =
         (Failure "Mempool: in-place output aliases a pooled (free) buffer") (fun () ->
           Mempool.assert_unpooled a.Ndarray.data ~ctx:"in-place output"))
 
+(* ------------------------------------------------------------------ *)
+(* The native AOT tier: dlopen'd C kernels held to the reference
+   interpreter bitwise, like every staged tier above.  The C emitter
+   replicates the generic nest's accumulation order and is compiled
+   with -ffp-contract=off, so bitwise equality — not tolerance — is
+   the contract here too.  Only rank-3 unrecognised bodies reach the
+   native rung (fixed kernels and lower ranks keep their tiers), so a
+   counter-backed non-vacuity check asserts the tier genuinely fired
+   across the qcheck run. *)
+
+let c_native_kernels = Mg_obs.Metrics.counter "kernel.native"
+
+(* Relative: lands in the dune test cwd (_build/default/test), shared
+   with the default settings dir so compiled objects deduplicate. *)
+let native_dir = "_mg_native"
+
+let native_fired = ref 0
+
+(* The native rung sits below the fixed kernels: single-cluster bodies
+   with <= 8 reads take [K3flat] and single-read clusters take
+   [K3zip], so a spec must carry a dense consumer body to compile
+   natively.  Pad rank-3 consumers past the flat threshold with
+   identity-read terms — exact binary fractions, so the coefficient
+   bit patterns stay distinct and the bitwise preconditions hold. *)
+let densify s =
+  if s.rank <> 3 then s
+  else
+    let pad =
+      List.init 9 (fun i ->
+          (List.init 3 (fun _ -> 0), 0.015625 +. (float_of_int i *. 0.0078125)))
+    in
+    { s with cterms = distinct_terms (s.cterms @ pad) }
+
+let run_spec_native s =
+  let s = densify s in
+  with_mempool_debug (fun () ->
+      let reference = run_reference (build s) in
+      let failures = ref [] in
+      let n0 = Mg_obs.Metrics.value c_native_kernels in
+      List.iter
+        (fun reuse ->
+          List.iter
+            (fun (sname, sched) ->
+              let st = exec_settings ~native:(Some native_dir) ~reuse ~cfun:true sched in
+              let got = run_engine st (build s) in
+              if not (result_bits_equal got reference) then
+                failures :=
+                  Printf.sprintf "native reuse=%b sched=%s: %s" reuse sname
+                    (first_diff got reference)
+                  :: !failures)
+            scheds)
+        [ false; true ];
+      if Mg_obs.Metrics.value c_native_kernels > n0 then incr native_fired;
+      if !failures <> [] then
+        QCheck.Test.fail_reportf "native tier deviates from reference interpreter:\n  %s"
+          (String.concat "\n  " (List.rev !failures))
+      else true)
+
+let qcheck_native_matches_reference =
+  QCheck.Test.make ~name:"native AOT kernels bitwise match the reference interpreter" ~count:60
+    arb_spec run_spec_native
+
+let test_native_exercised () =
+  Alcotest.(check bool)
+    (Printf.sprintf "qcheck samples dispatched native kernels (%d did)" !native_fired)
+    true (!native_fired > 0)
+
+(* A rank-3 asymmetric body dense enough (9 reads, one cluster) that
+   no fixed kernel takes it: guaranteed to reach the native rung when
+   the tier is on.  [c] keys the content digest per test. *)
+let native_graph shp src c =
+  let terms =
+    ([ 0; 0; 1 ], c) :: ([ 1; 0; 0 ], -0.75) :: ([ 0; -1; 0 ], 1.25)
+    :: List.init 6 (fun i -> ([ 0; 0; 0 ], 0.03125 +. (float_of_int i *. 0.0078125)))
+  in
+  Ir.Node
+    (Ir.genarray shp
+       [ { Ir.gen = Generator.interior shp 1; body = lin (Ir.Arr src) terms 0.125 } ])
+
+(* Cold compile, then a simulated process restart: the in-memory memo
+   is dropped and the plan recompiled from scratch (fresh settings =
+   fresh plan cache), so the kernel must come back from the on-disk
+   shared-object cache — zero new cc invocations, bitwise-identical
+   values. *)
+let test_native_disk_cache_restart () =
+  Native.reset_for_tests ();
+  let dir = Printf.sprintf "_mg_native_restart_%d" (Unix.getpid ()) in
+  let shp = [| 8; 8; 8 |] in
+  let src = src_of_seed shp 11 in
+  let force () =
+    let st = exec_settings ~native:(Some dir) ~reuse:false ~cfun:true
+        Mg_smp.Sched_policy.Static_block in
+    match run_engine st (Parr (native_graph shp src 0.5)) with
+    | Rarr a -> a
+    | Rscalar _ -> assert false
+  in
+  let n0 = Mg_obs.Metrics.value c_native_kernels in
+  let compiles0 = Mg_obs.Metrics.value Native.c_compiles in
+  let cold = force () in
+  Alcotest.(check bool) "cold force dispatched the native kernel" true
+    (Mg_obs.Metrics.value c_native_kernels > n0);
+  Alcotest.(check bool) "cold force invoked the compiler" true
+    (Mg_obs.Metrics.value Native.c_compiles > compiles0);
+  Native.reset_for_tests ();
+  let compiles1 = Mg_obs.Metrics.value Native.c_compiles in
+  let disk0 = Mg_obs.Metrics.value Native.c_disk_hits in
+  let warm = force () in
+  Alcotest.(check int) "restart recompiled nothing" compiles1
+    (Mg_obs.Metrics.value Native.c_compiles);
+  Alcotest.(check bool) "restart loaded the cached shared object" true
+    (Mg_obs.Metrics.value Native.c_disk_hits > disk0);
+  Alcotest.(check bool) "cached .so bitwise identical to cold compile" true
+    (arr_bits_equal cold warm);
+  Alcotest.(check bool) "both bitwise match the reference" true
+    (arr_bits_equal cold
+       (match run_reference (Parr (native_graph shp src 0.5)) with
+       | Rarr a -> a
+       | Rscalar _ -> assert false))
+
+(* Graceful degradation: with the compiler poisoned (MG_CC pointing at
+   a nonexistent binary) the native tier must fail closed — failure
+   counted, no native dispatch — while the force transparently lands
+   on the cfun tier and still bitwise matches the reference. *)
+let test_native_cc_poisoned () =
+  let saved_cc = Sys.getenv_opt "MG_CC" in
+  Unix.putenv "MG_CC" "/nonexistent/mg-cc";
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset: fall back to the default command. *)
+      Unix.putenv "MG_CC" (Option.value saved_cc ~default:"cc");
+      Native.reset_for_tests ())
+    (fun () ->
+      Native.reset_for_tests ();
+      let dir = Printf.sprintf "_mg_native_poison_%d" (Unix.getpid ()) in
+      let shp = [| 8; 8; 8 |] in
+      let src = src_of_seed shp 13 in
+      (* Fresh coefficient: neither the memo nor any disk cache can
+         already hold this kernel. *)
+      let g () = Parr (native_graph shp src 0.6180339887) in
+      let st = exec_settings ~native:(Some dir) ~reuse:false ~cfun:true
+          Mg_smp.Sched_policy.Static_block in
+      let f0 = Mg_obs.Metrics.value Native.c_failures in
+      let n0 = Mg_obs.Metrics.value c_native_kernels in
+      let got = run_engine st (g ()) in
+      Alcotest.(check bool) "poisoned compiler counted a failure" true
+        (Mg_obs.Metrics.value Native.c_failures > f0);
+      Alcotest.(check int) "no native kernel dispatched" n0
+        (Mg_obs.Metrics.value c_native_kernels);
+      Alcotest.(check bool) "cfun fallback bitwise matches the reference" true
+        (result_bits_equal got (run_reference (g ()))))
+
+(* The full-solve acceptance matrix: class-tiny rnm2 is bitwise
+   invariant across {generic,cfun,native} x {1,4} domains, and across
+   the three scheduling policies under the native tier. *)
+let test_driver_tiers_bitwise () =
+  let rnm2 ~cfun ~native ~threads ~sched =
+    (Mg_core.Driver.run ~opt:Wl.O3 ~threads ~sched ~cfun ~native ~impl:Mg_core.Driver.Sac
+       ~cls:Mg_core.Classes.tiny ())
+      .Mg_core.Driver.rnm2
+  in
+  let want = rnm2 ~cfun:false ~native:false ~threads:1 ~sched:Mg_smp.Sched_policy.Static_block in
+  List.iter
+    (fun (cfun, native) ->
+      List.iter
+        (fun threads ->
+          let got = rnm2 ~cfun ~native ~threads ~sched:Mg_smp.Sched_policy.Static_block in
+          Alcotest.(check bool)
+            (Printf.sprintf "cfun=%b native=%b t=%d rnm2 bitwise" cfun native threads)
+            true
+            (Int64.equal (bits got) (bits want)))
+        [ 1; 4 ])
+    [ (false, false); (true, false); (true, true) ];
+  List.iter
+    (fun (sname, sched) ->
+      let got = rnm2 ~cfun:true ~native:true ~threads:4 ~sched in
+      Alcotest.(check bool)
+        (Printf.sprintf "native sched=%s rnm2 bitwise" sname)
+        true
+        (Int64.equal (bits got) (bits want)))
+    scheds
+
 let suite =
   ( "reference_oracle",
     [ QCheck_alcotest.to_alcotest qcheck_engine_matches_reference;
@@ -465,4 +647,11 @@ let suite =
       Alcotest.test_case "escaped operand never aliased" `Quick test_escaped_operand_not_aliased;
       Alcotest.test_case "debug: double recycle fails" `Quick test_debug_double_recycle;
       Alcotest.test_case "debug: pooled-buffer aliasing fails" `Quick test_assert_unpooled;
+      QCheck_alcotest.to_alcotest qcheck_native_matches_reference;
+      Alcotest.test_case "native tier exercised by qcheck" `Quick test_native_exercised;
+      Alcotest.test_case "native disk cache survives a restart" `Quick
+        test_native_disk_cache_restart;
+      Alcotest.test_case "poisoned compiler degrades to cfun" `Quick test_native_cc_poisoned;
+      Alcotest.test_case "driver tiers bitwise-identical on class tiny" `Quick
+        test_driver_tiers_bitwise;
     ] )
