@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test smoke profile-smoke metrics-smoke native-smoke check bench clean
+.PHONY: all build test smoke profile-smoke metrics-smoke native-smoke serve-smoke check bench clean
 
 all: build
 
@@ -113,7 +113,43 @@ native-smoke: build
 	  if [ "$$r1" != "$$r2" ]; then echo "native-smoke: rnm2 drifted across cache replay ($$r1 vs $$r2)"; exit 1; \
 	  else echo "native-smoke: rnm2 stable across replay ($$r1)"; fi
 
-check: build test smoke profile-smoke metrics-smoke native-smoke
+# The multi-tenant serving layer end to end: sustained closed-loop
+# class-S load through lib/serve across all three kernel tiers with a
+# 3:1 tenant mix.  mg_serve_bench itself exits non-zero on any
+# admission-accounting leak (submitted != accepted + rejected, or a
+# ticket left unresolved), any unverified/failed response, or any
+# served rnm2 that is not bitwise-identical to its sequential
+# Driver.run twin.  On top of that this target asserts the throughput
+# floor (1000 class-S solves/min — the 2-core acceptance bar), a
+# generous p99 latency ceiling, lints the OpenMetrics export with the
+# in-repo linter, and checks the per-tenant serve_* shards made it
+# out.
+MG_SERVE_DURATION ?= 60
+MG_SERVE_P99_MS ?= 10000
+
+serve-smoke: build
+	mkdir -p results
+	dune exec bin/mg_serve_bench.exe -- --duration $(MG_SERVE_DURATION) --class S \
+	  --tenants a:3,b:1 --kernels generic,cfun,native \
+	  --out results/serve_bench.json --metrics-out results/serve_metrics.om \
+	  | tee results/serve-smoke.txt
+	dune exec bin/om_lint.exe -- results/serve_metrics.om
+	awk -v p99max=$(MG_SERVE_P99_MS) \
+	  '/^serve_bench: throughput=/ { split($$2, a, "="); tp = a[2]; \
+	     split($$4, b, "="); p99 = b[2]; sub(/ms/, "", p99) } \
+	  END { if (tp+0 < 1000) { print "serve-smoke: throughput " tp " solves/min below the 1000/min floor"; exit 1 }; \
+	        if (p99+0 > p99max+0) { print "serve-smoke: p99 " p99 " ms exceeds the " p99max " ms ceiling"; exit 1 }; \
+	        print "serve-smoke: load OK (throughput=" tp "/min, p99=" p99 " ms)" }' results/serve-smoke.txt
+	@grep -q '^serve_bench: accounting OK' results/serve-smoke.txt \
+	  && grep -q '^serve_bench: bitwise OK' results/serve-smoke.txt \
+	  && echo "serve-smoke: accounting and bitwise gates OK" \
+	  || { echo "serve-smoke: accounting/bitwise gate line missing"; exit 1; }
+	@grep -q 'serve_latency_ns_bucket{tenant="a"' results/serve_metrics.om \
+	  && grep -q 'serve_latency_ns_bucket{tenant="b"' results/serve_metrics.om \
+	  && echo "serve-smoke: per-tenant latency shards present" \
+	  || { echo "serve-smoke: no per-tenant serve_latency_ns shard in results/serve_metrics.om"; exit 1; }
+
+check: build test smoke profile-smoke metrics-smoke native-smoke serve-smoke
 
 bench: build
 	dune exec bench/main.exe

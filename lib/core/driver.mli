@@ -48,7 +48,10 @@ val run :
 
     Every solve runs under a fresh {!Mg_obs.Scope} (labelled with the
     engine's {!Engine.label} and the optional [tenant]) and leaves one
-    {!Mg_obs.Flight} record behind — even when spans are off. *)
+    {!Mg_obs.Flight} record behind — even when spans are off.  It also
+    runs inside a per-request {!Mg_withloop.Mempool} arena scope owned
+    by the one-shot engine, so requests multiplexed onto one serving
+    worker keep their recycle trails isolated from each other. *)
 
 val traced_run : impl:impl -> cls:Classes.t -> result
 (** [run ~trace:true] at sequential settings — the input for

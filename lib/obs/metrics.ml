@@ -176,6 +176,21 @@ let quantile (s : histogram_snapshot) q =
     go 0 0.0
   end
 
+(* A read-only lookup: snapshot-and-quantile without interning an
+   empty histogram when the family was never observed (interning would
+   make "was anything recorded?" indistinguishable from "nothing
+   registered"). *)
+let quantile_of ?(labels = []) name q =
+  let key = key_of name (canon labels) in
+  Mutex.lock registry_m;
+  let i = Hashtbl.find_opt registry key in
+  Mutex.unlock registry_m;
+  match i with
+  | Some (H h) ->
+      let s = histogram_snapshot h in
+      if s.count = 0 then None else Some (quantile s q)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 

@@ -79,6 +79,13 @@ val quantile : histogram_snapshot -> float -> float
     inside the landing log₂ bucket — within one bucket of the exact
     order statistic by construction.  [0.0] on an empty snapshot. *)
 
+val quantile_of : ?labels:labels -> string -> float -> float option
+(** [quantile_of name q]: {!quantile} over the current snapshot of the
+    registered histogram [(name, labels)] — a read-only lookup that
+    never interns.  [None] when no such histogram exists or it has no
+    observations (the serving harness reads per-tenant latency
+    quantiles through this without perturbing the registry). *)
+
 (** {1 Registry} *)
 
 type value =

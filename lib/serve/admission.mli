@@ -1,0 +1,100 @@
+(** Bounded multi-tenant admission queue with weighted round-robin
+    dispatch — the pure core of the serving layer.
+
+    This module is deliberately free of domains, mutexes and clocks:
+    {!Serve} drives it under one lock, and the qcheck shadow-model
+    suite drives it directly against a pure OCaml model over random
+    interleavings of submit/dispatch/cancel/complete.  Keeping the
+    whole admission protocol in one sequential data structure is the
+    session-typed design discipline (Bejleri/Hu/Yoshida, PAPERS.md)
+    transplanted to a shared-memory server: every request advances
+    along the linear protocol
+
+    {v submitted → (rejected | queued) → (cancelled | dispatched) → completed v}
+
+    and the only operations offered are exactly the legal transitions
+    — an illegal one ({!complete} of a never-dispatched id, a double
+    {!dispatch} of the same request) is an [Invalid_argument], not a
+    silent corruption, so deadlock- and loss-freedom hold by
+    construction rather than by scheduler luck.
+
+    {2 Admission}
+
+    The queue holds at most [capacity] live (queued, not yet
+    dispatched) requests across all tenants; a submit beyond that, or
+    after {!drain}, returns a {!reject} — callers get an explicit
+    refusal, never silent unbounded growth.
+
+    {2 Fairness}
+
+    Each tenant owns a FIFO of its queued requests and a {e weight}
+    ([>= 1]).  {!dispatch} serves tenants deficit-round-robin: a
+    rotation visits tenants in first-appearance order, each tenant may
+    dispatch up to [weight] requests per rotation, and an exhausted or
+    empty tenant passes its turn.  A tenant with weight 3 therefore
+    gets 3× the dispatch slots of a weight-1 tenant under saturation,
+    while an idle tenant costs the others nothing. *)
+
+type reject =
+  | Queue_full  (** [capacity] live requests already queued. *)
+  | Draining  (** {!drain} was called; no further admissions. *)
+
+val reject_to_string : reject -> string
+
+type stats = {
+  submitted : int;  (** Every {!submit} call. *)
+  accepted : int;  (** Submissions that were queued. *)
+  rejected : int;  (** Submissions refused ([submitted = accepted + rejected]). *)
+  cancelled : int;  (** Accepted requests cancelled while still queued. *)
+  dispatched : int;  (** Requests handed to a worker by {!dispatch}. *)
+  completed : int;  (** Dispatched requests marked done by {!complete}. *)
+  queued : int;  (** Currently queued (live, cancellable). *)
+  in_flight : int;  (** Dispatched but not yet completed. *)
+}
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** An empty queue admitting at most [capacity >= 1] live requests.
+    @raise Invalid_argument on [capacity < 1]. *)
+
+val submit : 'a t -> tenant:string -> ?weight:int -> 'a -> (int, reject) result
+(** Admit a request for [tenant], returning its ticket id (process-
+    unique, monotonically increasing).  [weight] ([>= 1], default 1)
+    (re)sets the tenant's round-robin weight — the last submitted
+    weight wins.  [Error] when full or draining. *)
+
+val cancel : 'a t -> int -> bool
+(** [true] iff the id was still queued: the request will never be
+    dispatched.  [false] once dispatched, completed, already
+    cancelled, or unknown — cancellation races resolve to exactly one
+    winner. *)
+
+val dispatch : 'a t -> (int * string * 'a) option
+(** The next request under weighted round-robin, now in flight —
+    [None] when nothing is queued.  Cancelled entries are discarded in
+    passing and never returned. *)
+
+val complete : 'a t -> int -> unit
+(** Mark a dispatched request done.
+    @raise Invalid_argument unless the id is currently in flight —
+    completing an unknown, queued, cancelled or already-completed id
+    is a protocol violation, loudly. *)
+
+val drain : 'a t -> unit
+(** Refuse all further submissions ({!reject} [Draining]); already
+    queued and in-flight requests are unaffected.  Idempotent. *)
+
+val draining : 'a t -> bool
+val capacity : 'a t -> int
+
+val stats : 'a t -> stats
+(** Exact accounting.  Invariants (asserted by the shadow-model
+    suite): [submitted = accepted + rejected],
+    [accepted = queued + cancelled + dispatched],
+    [dispatched = in_flight + completed], and [queued <= capacity]
+    at every point in every interleaving. *)
+
+val queued_ids : 'a t -> int list
+(** Ids currently queued (dispatch-eligible), in no particular order —
+    the shutdown path cancels these when asked not to drain. *)

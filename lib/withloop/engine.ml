@@ -124,13 +124,21 @@ let all () =
   Mutex.unlock reg_mu;
   l
 
-let create ?config:(c = config_of_env ()) () =
+(* [?share_cache] is the serving-layer combination derive cannot
+   express: worker engines that pool compiled plans in one shared
+   store (keys carry the optimisation fingerprint, and the cache is
+   internally mutexed, so cross-domain sharing is sound) while each
+   owning a private execution pool — concurrent solves never contend
+   for workers, but the second tenant to ask for a given graph shape
+   replays the first tenant's plan. *)
+let create ?config:(c = config_of_env ()) ?share_cache () =
   let id = next_id () in
   let e =
     { id;
       label = id;
       config = c;
-      cache = Plan_cache.create ();
+      cache =
+        (match share_cache with Some p -> p.cache | None -> Plan_cache.create ());
       pool_ref = Owned { pool = None; pm = Mutex.create () };
     }
   in

@@ -62,10 +62,20 @@ val config_of_env : ?getenv:(string -> string option) -> unit -> config
 type t
 (** One engine: a config, a private plan cache, an execution pool. *)
 
-val create : ?config:config -> unit -> t
-(** A fresh engine with its own {!Plan_cache} and its own (lazily
-    spawned, owned) domain pool.  Default config: {!config_of_env}.
-    Registered in {!all} until {!shutdown}. *)
+val create : ?config:config -> ?share_cache:t -> unit -> t
+(** A fresh engine with its own (lazily spawned, owned) domain pool.
+    Default config: {!config_of_env}.  Registered in {!all} until
+    {!shutdown}.
+
+    By default the engine also gets its own {!Plan_cache};
+    [~share_cache:parent] instead aliases [parent]'s cache — the
+    multi-tenant serving combination {!derive} cannot express: plans
+    compiled by any sibling replay for all of them (the cache is
+    internally mutexed and keys carry the optimisation fingerprint,
+    so cross-domain, cross-config sharing is sound) while every
+    sibling still owns a private execution pool.  Statistics
+    accumulate in the shared instance.  Shutting down a sibling never
+    drops the shared cache. *)
 
 val derive : t -> (config -> config) -> t
 (** A cheap reconfiguration: shares the parent's plan cache (keys

@@ -45,4 +45,5 @@ let () =
       Test_smp_sim.suite;
       Test_bench_util.suite;
       Test_obs.suite;
+      Test_serve.suite;
     ]
